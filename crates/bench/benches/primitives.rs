@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the substrate hot paths.
+//!
+//! These guard the performance assumptions the figure harness relies on
+//! (tens of millions of events per second through the kernel; O(1)
+//! sampling, cache and ring operations). The figure *reproductions*
+//! themselves live in the `repro` binary — they are simulations whose
+//! output is data, not wall time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use netsim::topology::FatTree;
+use queuesim::model::{run as run_queue, Config};
+use simcore::dist::{Distribution, Exponential, Pareto};
+use simcore::event::EventQueue;
+use simcore::rng::Rng;
+use simcore::time::SimTime;
+use storesim::hashring::HashRing;
+use storesim::lru::LruCache;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = Rng::seed_from(1);
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::with_capacity(1024);
+                for _ in 0..1024 {
+                    q.push(SimTime::from_secs(rng.f64()), 0u32);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rng_and_dists(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = Rng::seed_from(2);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("sample_exponential", |b| {
+        let mut rng = Rng::seed_from(3);
+        let d = Exponential::unit();
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+    c.bench_function("sample_pareto", |b| {
+        let mut rng = Rng::seed_from(4);
+        let d = Pareto::unit_mean(2.1);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_access_hit", |b| {
+        let mut cache = LruCache::new(1 << 20);
+        for k in 0..1000u64 {
+            cache.insert(k, 1000);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 1000;
+            black_box(cache.access(i))
+        })
+    });
+    c.bench_function("lru_insert_evict", |b| {
+        let mut cache = LruCache::new(100_000);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(cache.insert(k, 999))
+        })
+    });
+}
+
+fn bench_hash_ring(c: &mut Criterion) {
+    let ring = HashRing::new(16, 128);
+    c.bench_function("hashring_primary", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(ring.primary(k))
+        })
+    });
+}
+
+fn bench_fat_tree_routing(c: &mut Criterion) {
+    let topo = FatTree::new(6);
+    c.bench_function("fattree_candidates", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 54;
+            let edge = 54 + (i % 18);
+            black_box(topo.candidates(edge, (i * 7) % 54))
+        })
+    });
+}
+
+fn bench_queue_model(c: &mut Criterion) {
+    // One full (small) replicated-queue simulation per iteration: this is
+    // the unit of work the threshold bisection repeats thousands of times.
+    c.bench_function("queuesim_10k_requests_k2", |b| {
+        let cfg = Config::new(Exponential::unit(), 0.2)
+            .with_copies(2)
+            .with_requests(10_000, 1_000);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_queue(&cfg, seed).moments.mean())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng_and_dists,
+    bench_lru,
+    bench_hash_ring,
+    bench_fat_tree_routing,
+    bench_queue_model
+);
+criterion_main!(benches);

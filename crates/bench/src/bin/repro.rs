@@ -1,0 +1,88 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <id>... [--quick] [--out DIR]    run specific experiments
+//! repro all     [--quick] [--out DIR]    run everything, paper order
+//! repro list                             show available ids
+//! ```
+//!
+//! Output goes to stdout; with `--out DIR` each experiment is also written
+//! to `DIR/<id>.txt`.
+
+use repro_bench::{run_experiment, Effort, ABLATION_IDS, ALL_IDS};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+
+    let mut effort = Effort::Full;
+    let mut out_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--out" => match it.next() {
+                Some(dir) => out_dir = Some(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "list" => {
+                for id in ALL_IDS.iter().chain(ABLATION_IDS).chain(&["heavytail"]) {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(
+                ABLATION_IDS
+                    .iter()
+                    .chain(&["heavytail"])
+                    .map(|s| s.to_string()),
+            ),
+            "-h" | "--help" => {
+                usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    for id in &ids {
+        let known = ALL_IDS.contains(&id.as_str())
+            || ABLATION_IDS.contains(&id.as_str())
+            || id == "heavytail";
+        if !known {
+            eprintln!("unknown experiment id '{id}'; try `repro list`");
+            std::process::exit(2);
+        }
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+
+    for id in &ids {
+        let t0 = Instant::now();
+        let report = run_experiment(id, effort);
+        eprintln!("[{id}] done in {:.1?}", t0.elapsed());
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{id}.txt");
+            let mut f = std::fs::File::create(&path).expect("create output file");
+            f.write_all(report.as_bytes()).expect("write output file");
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <id>...|all|ablations|list [--quick] [--out DIR]");
+    eprintln!("figures:   {}", ALL_IDS.join(" "));
+    eprintln!("ablations: {} heavytail", ABLATION_IDS.join(" "));
+}

@@ -1,0 +1,93 @@
+//! §2.4 reproductions: Figure 14.
+
+use crate::util::{ms, num, pct, Report};
+use crate::Effort;
+use netsim::experiments::{fig14a as sweep_a, fig14b as sweep_b, fig14c as sweep_c};
+
+/// Fig 14(a): % improvement in median small-flow FCT vs load, three
+/// bandwidth/delay combos.
+pub fn fig14a(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig14a: median FCT improvement for flows < 10 KB",
+        "Figure 14(a)",
+    );
+    let loads: Vec<f64> = match effort {
+        Effort::Full => (1..=8).map(|i| i as f64 * 0.1).collect(),
+        Effort::Quick => vec![0.2, 0.4, 0.6],
+    };
+    let flows = effort.scale(25_000, 4_000);
+    r.header(&[
+        "combo",
+        "load",
+        "median_norepl_ms",
+        "median_repl_ms",
+        "improvement_pct",
+    ]);
+    for row in sweep_a(&loads, flows, 0x14A) {
+        r.row(&[
+            row.combo.into(),
+            num(row.load),
+            ms(row.median_baseline),
+            ms(row.median_replicated),
+            pct(row.improvement_pct),
+        ]);
+    }
+    r.note("expected shape: rises to a peak near 40% load, falls at the edges;");
+    r.note("gain shrinks as the delay-bandwidth product grows");
+    r.finish()
+}
+
+/// Fig 14(b): 99th-percentile FCT vs load — the timeout-avoidance spike.
+pub fn fig14b(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig14b: 99th percentile FCT for flows < 10 KB (5 Gbps, 2 us)",
+        "Figure 14(b)",
+    );
+    let loads: Vec<f64> = match effort {
+        Effort::Full => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85],
+        Effort::Quick => vec![0.2, 0.5, 0.75],
+    };
+    let flows = effort.scale(60_000, 6_000);
+    r.header(&[
+        "load",
+        "p99_norepl_ms",
+        "p99_repl_ms",
+        "timeouts_norepl",
+        "timeouts_repl",
+    ]);
+    for row in sweep_b(&loads, flows, 0x14B) {
+        r.row(&[
+            num(row.load),
+            ms(row.p99_baseline),
+            ms(row.p99_replicated),
+            row.timeouts.0.to_string(),
+            row.timeouts.1.to_string(),
+        ]);
+    }
+    r.note("watch for the unreplicated p99 crossing the 10 ms minRTO at high load");
+    r.finish()
+}
+
+/// Fig 14(c): FCT CCDF at 40 % load.
+pub fn fig14c(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig14c: FCT distribution for flows < 10 KB at load 0.4",
+        "Figure 14(c)",
+    );
+    let flows = effort.scale(60_000, 6_000);
+    let (base, repl) = sweep_c(0.4, flows, 60, 0x14C);
+    r.ccdf("no replication", &base);
+    r.ccdf("replication", &repl);
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14c_quick_renders_two_series() {
+        let out = fig14c(Effort::Quick);
+        assert_eq!(out.matches("# series:").count(), 2);
+    }
+}

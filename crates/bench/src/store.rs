@@ -1,0 +1,201 @@
+//! §2.2/§2.3 reproductions: Figures 5–13.
+
+use crate::util::{ms, num, Report};
+use crate::Effort;
+use storesim::experiments::{ccdf_at_load, run_load_sweep, ExperimentSpec};
+use storesim::memcached::{run as run_memcached, MemcachedConfig, MemcachedProfile};
+
+/// Which §2.2 figure.
+#[derive(Clone, Copy, Debug)]
+pub enum DiskFigure {
+    /// Base configuration.
+    Fig5,
+    /// 0.04 KB files.
+    Fig6,
+    /// Pareto file sizes.
+    Fig7,
+    /// cache:disk = 0.01.
+    Fig8,
+    /// EC2-like interference.
+    Fig9,
+    /// 400 KB files.
+    Fig10,
+    /// cache:disk = 2 (all in RAM).
+    Fig11,
+}
+
+impl DiskFigure {
+    fn spec(&self) -> ExperimentSpec {
+        match self {
+            DiskFigure::Fig5 => ExperimentSpec::fig5_base(),
+            DiskFigure::Fig6 => ExperimentSpec::fig6_tiny_files(),
+            DiskFigure::Fig7 => ExperimentSpec::fig7_pareto_files(),
+            DiskFigure::Fig8 => ExperimentSpec::fig8_cold_cache(),
+            DiskFigure::Fig9 => ExperimentSpec::fig9_ec2(),
+            DiskFigure::Fig10 => ExperimentSpec::fig10_large_files(),
+            DiskFigure::Fig11 => ExperimentSpec::fig11_all_in_ram(),
+        }
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        match self {
+            DiskFigure::Fig5 => "Figure 5 (base: 4 KB files, cache:disk 0.1)",
+            DiskFigure::Fig6 => "Figure 6 (0.04 KB files)",
+            DiskFigure::Fig7 => "Figure 7 (Pareto file sizes)",
+            DiskFigure::Fig8 => "Figure 8 (cache:disk 0.01)",
+            DiskFigure::Fig9 => "Figure 9 (EC2)",
+            DiskFigure::Fig10 => "Figure 10 (400 KB files)",
+            DiskFigure::Fig11 => "Figure 11 (cache:disk 2)",
+        }
+    }
+}
+
+/// Runs one §2.2 figure: mean + 99.9th vs load, and the CCDF at 20 % load.
+pub fn disk_figure(fig: DiskFigure, effort: Effort) -> String {
+    let spec = fig.spec();
+    let mut r = Report::new(
+        &format!("{}: disk-backed store, 1 vs 2 copies", spec.name),
+        fig.paper_ref(),
+    );
+    let requests = effort.scale(150_000, 25_000);
+    let loads: Vec<f64> = match effort {
+        Effort::Full => (1..=18).map(|i| i as f64 * 0.05).collect(),
+        Effort::Quick => vec![0.1, 0.2, 0.3, 0.4, 0.6],
+    };
+    r.header(&[
+        "load",
+        "mean_1copy_ms",
+        "mean_2copies_ms",
+        "p999_1copy_ms",
+        "p999_2copies_ms",
+    ]);
+    for row in run_load_sweep(&spec, &loads, requests, 0xD15C) {
+        r.row(&[
+            num(row.load),
+            ms(row.mean_single),
+            ms(row.mean_double),
+            ms(row.p999_single),
+            ms(row.p999_double),
+        ]);
+    }
+    r.blank();
+    let ccdf_requests = effort.scale(600_000, 50_000);
+    let (single, double) = ccdf_at_load(&spec, 0.2, ccdf_requests, 60, 0xCCDF);
+    r.ccdf("load 0.2, 1 copy", &single);
+    r.ccdf("load 0.2, 2 copies", &double);
+    r.finish()
+}
+
+/// Fig 12: memcached response times vs load, 1 vs 2 copies.
+pub fn fig12(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig12-memcached: replication loses at every load",
+        "Figure 12",
+    );
+    let requests = effort.scale(300_000, 40_000);
+    let loads: Vec<f64> = match effort {
+        Effort::Full => (1..=9).map(|i| i as f64 * 0.05).collect(),
+        Effort::Quick => vec![0.1, 0.2, 0.4],
+    };
+    r.header(&[
+        "load",
+        "mean_1copy_ms",
+        "mean_2copies_ms",
+        "p999_1copy_ms",
+        "p999_2copies_ms",
+    ]);
+    for &load in &loads {
+        let mut one = {
+            let mut c = MemcachedConfig::paper_like(1, load);
+            c.requests = requests;
+            run_memcached(&c)
+        };
+        let mut two = {
+            let mut c = MemcachedConfig::paper_like(2, load);
+            c.requests = requests;
+            run_memcached(&c)
+        };
+        r.row(&[
+            num(load),
+            ms(one.response.mean()),
+            ms(two.response.mean()),
+            ms(one.response.quantile(0.999)),
+            ms(two.response.quantile(0.999)),
+        ]);
+    }
+    r.blank();
+    // CCDF at 20% load, matching the figure's right panel.
+    let mut one = {
+        let mut c = MemcachedConfig::paper_like(1, 0.2);
+        c.requests = requests;
+        run_memcached(&c)
+    };
+    let mut two = {
+        let mut c = MemcachedConfig::paper_like(2, 0.2);
+        c.requests = requests;
+        run_memcached(&c)
+    };
+    r.ccdf("load 0.2, 1 copy", &one.response.ccdf(50));
+    r.ccdf("load 0.2, 2 copies", &two.response.ccdf(50));
+    r.finish()
+}
+
+/// Fig 13: stub vs real memcached at 0.1 % load — the client-side-cost
+/// isolation experiment.
+pub fn fig13(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig13-memcached-stub: client-side cost isolation at 0.1% load",
+        "Figure 13",
+    );
+    let requests = effort.scale(400_000, 60_000);
+    let prof = MemcachedProfile::default();
+    let mut sets = Vec::new();
+    for (label, copies, stub) in [
+        ("1 copy real", 1, false),
+        ("2 copies real", 2, false),
+        ("1 copy stub", 1, true),
+        ("2 copies stub", 2, true),
+    ] {
+        let mut c = MemcachedConfig::paper_like(copies, 0.001);
+        c.requests = requests;
+        if stub {
+            c = c.stubbed();
+        }
+        let mut out = run_memcached(&c);
+        r.note(&format!(
+            "{label}: mean {} ms",
+            ms(out.response.mean())
+        ));
+        sets.push((label, out.response.ccdf(50)));
+    }
+    for (label, c) in &sets {
+        r.ccdf(label, c);
+    }
+    r.note(&format!(
+        "stub overhead of replication should be >= 9% of the {} ms mean service time",
+        ms(prof.mean_service)
+    ));
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_report_shows_no_win() {
+        let out = disk_figure(DiskFigure::Fig11, Effort::Quick);
+        // Parse the 0.2-load row: mean_2copies >= ~mean_1copy.
+        let row: Vec<f64> = out
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(|l| {
+                l.split('\t')
+                    .map(|c| c.parse::<f64>().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .find(|cells| (cells[0] - 0.2).abs() < 1e-9)
+            .unwrap();
+        assert!(row[2] > row[1] * 0.9, "{row:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Cooperative cancellation for losing replicas.
+//!
+//! The paper's model never cancels the sibling copy (that is what doubles
+//! utilization), and [`crate::sync_exec::race`] faithfully lets losers run
+//! to completion *unless* they observe the token. Real deployments (Dean &
+//! Barroso's tied requests) do cancel; exposing the token lets callers pick
+//! their point on that spectrum.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cheaply-cloneable cancellation flag shared by the copies of one
+/// logical operation.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals every holder to stop.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once any holder has called [`cancel`](Self::cancel).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            while !c.is_cancelled() {
+                std::hint::spin_loop();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

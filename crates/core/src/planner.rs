@@ -1,0 +1,212 @@
+//! Should you replicate? The paper's answer, as an API.
+//!
+//! §2.1 of the paper characterizes when always-on replication lowers mean
+//! latency in a fixed-capacity system: below a **threshold load** that
+//! (absent client-side cost) always lies between ~26 % and 50 % of
+//! utilization, higher for more variable service times, and degraded
+//! toward zero as the client-side cost of an extra copy approaches the
+//! mean service time (Fig 4). [`Planner`] packages those results:
+//! describe your workload ([`WorkloadProfile`]) and current utilization,
+//! get back an [`Advice`] with the predicted speedup.
+//!
+//! The analytics are the `queuesim::analytic` two-moment model — exact for
+//! M/M/1 (Theorem 1's 1/3), closed-form ≈ 0.293 for deterministic service
+//! — with the client overhead applied exactly as the paper's Fig 4 does
+//! (a constant added to every replicated request).
+
+use queuesim::analytic::pk::{self, ServiceMoments};
+use queuesim::analytic::two_moment;
+use simcore::stats::Welford;
+
+/// First and second moments of the backend service time, plus what an
+/// extra copy costs the client.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadProfile {
+    /// Mean backend service time, seconds.
+    pub mean_service: f64,
+    /// Squared coefficient of variation of the service time
+    /// (0 = deterministic, 1 = exponential, > 1 = heavy).
+    pub scv: f64,
+    /// Client-side latency cost added to a request by each extra copy,
+    /// seconds (network + CPU + kernel; §2.3 measured ≥ 9 % of the mean
+    /// for memcached, which is what killed replication there).
+    pub client_overhead: f64,
+}
+
+impl WorkloadProfile {
+    /// Builds a profile from observed latency samples at *low load* (so
+    /// the samples approximate service time rather than queueing) plus a
+    /// measured per-copy overhead.
+    pub fn from_samples(samples: &Welford, client_overhead: f64) -> Self {
+        assert!(samples.count() >= 2, "need at least two samples");
+        let mean = samples.mean();
+        WorkloadProfile {
+            mean_service: mean,
+            scv: samples.variance() / (mean * mean),
+            client_overhead,
+        }
+    }
+
+    fn moments(&self) -> ServiceMoments {
+        ServiceMoments::new(self.mean_service, self.scv * self.mean_service * self.mean_service)
+    }
+}
+
+/// What the planner recommends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Advice {
+    /// `true` when 2-way replication is predicted to lower mean latency.
+    pub replicate: bool,
+    /// The threshold load below which replication helps this workload.
+    pub threshold_load: f64,
+    /// Predicted mean response time without replication, seconds.
+    pub mean_single: f64,
+    /// Predicted mean response time with 2 copies, seconds.
+    pub mean_replicated: f64,
+}
+
+impl Advice {
+    /// Predicted speedup factor (`> 1` means replication wins).
+    pub fn speedup(&self) -> f64 {
+        self.mean_single / self.mean_replicated
+    }
+}
+
+/// The replication planner for 2-way replication in a fixed-size cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Planner {
+    profile: WorkloadProfile,
+}
+
+impl Planner {
+    /// Creates a planner for a workload.
+    pub fn new(profile: WorkloadProfile) -> Self {
+        assert!(profile.mean_service > 0.0 && profile.scv >= 0.0);
+        assert!(profile.client_overhead >= 0.0);
+        Planner { profile }
+    }
+
+    /// The threshold load for this workload: the largest utilization below
+    /// which 2-way replication still lowers the mean (0 when the client
+    /// overhead already exceeds any possible gain).
+    pub fn threshold_load(&self) -> f64 {
+        let s = self.profile.moments();
+        let over = self.profile.client_overhead;
+        // Bisect mean2(rho) + overhead = mean1(rho) on (0, 0.5).
+        let gain = |rho: f64| {
+            two_moment::mean_response_replicated(s, rho, 2) + over - pk::mean_response(s, rho)
+        };
+        let mut lo = 1e-4;
+        let mut hi = 0.5 - 1e-6;
+        if gain(lo) > 0.0 {
+            return 0.0;
+        }
+        if gain(hi) < 0.0 {
+            return hi;
+        }
+        while hi - lo > 1e-4 {
+            let mid = 0.5 * (lo + hi);
+            if gain(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Advice at the given per-server utilization.
+    pub fn advise(&self, load: f64) -> Advice {
+        assert!((0.0..1.0).contains(&load), "load out of range: {load}");
+        let s = self.profile.moments();
+        let mean_single = pk::mean_response(s, load);
+        let mean_replicated = if 2.0 * load < 1.0 {
+            two_moment::mean_response_replicated(s, load, 2) + self.profile.client_overhead
+        } else {
+            f64::INFINITY
+        };
+        Advice {
+            replicate: mean_replicated < mean_single,
+            threshold_load: self.threshold_load(),
+            mean_single,
+            mean_replicated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_profile(overhead: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            mean_service: 1.0,
+            scv: 1.0,
+            client_overhead: overhead,
+        }
+    }
+
+    #[test]
+    fn exponential_threshold_is_theorem_1() {
+        let p = Planner::new(exp_profile(0.0));
+        let t = p.threshold_load();
+        assert!((t - 1.0 / 3.0).abs() < 3e-3, "threshold {t}");
+    }
+
+    #[test]
+    fn advice_flips_at_threshold() {
+        let p = Planner::new(exp_profile(0.0));
+        assert!(p.advise(0.25).replicate);
+        assert!(!p.advise(0.45).replicate);
+        // Speedup sensible below threshold.
+        let a = p.advise(0.2);
+        assert!(a.speedup() > 1.2, "speedup {}", a.speedup());
+    }
+
+    #[test]
+    fn overhead_shrinks_threshold_like_fig4() {
+        let thresholds: Vec<f64> = [0.0, 0.2, 0.5, 1.0]
+            .iter()
+            .map(|&o| Planner::new(exp_profile(o)).threshold_load())
+            .collect();
+        for w in thresholds.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "not decreasing: {thresholds:?}");
+        }
+        assert!(thresholds[3] < 0.02, "mean-sized overhead kills it");
+    }
+
+    #[test]
+    fn deterministic_floor_matches_closed_form() {
+        let p = Planner::new(WorkloadProfile {
+            mean_service: 5.0e-3,
+            scv: 0.0,
+            client_overhead: 0.0,
+        });
+        let t = p.threshold_load();
+        let expect = two_moment::deterministic_threshold_closed_form();
+        assert!((t - expect).abs() < 2e-3, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn profile_from_samples() {
+        let mut w = Welford::new();
+        // Synthetic low-load latency samples, mean ~2ms, scv ~1.
+        let mut rng = simcore::rng::Rng::seed_from(5);
+        for _ in 0..50_000 {
+            w.push(rng.exponential(500.0));
+        }
+        let prof = WorkloadProfile::from_samples(&w, 0.0);
+        assert!((prof.mean_service - 2e-3).abs() < 1e-4);
+        assert!((prof.scv - 1.0).abs() < 0.05);
+        let planner = Planner::new(prof);
+        assert!((planner.threshold_load() - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn never_replicate_above_half() {
+        let p = Planner::new(exp_profile(0.0));
+        let a = p.advise(0.6);
+        assert!(!a.replicate);
+        assert!(a.mean_replicated.is_infinite());
+    }
+}

@@ -1,0 +1,97 @@
+//! Redundancy policies: how many copies, and when.
+
+use std::time::Duration;
+
+/// How a logical operation is fanned out to replicas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// No redundancy: one copy.
+    Single,
+    /// The paper's scheme: issue `copies` immediately, first answer wins.
+    Always {
+        /// Total copies (≥ 2).
+        copies: usize,
+    },
+    /// Dean & Barroso's hedged request: issue one copy, and launch up to
+    /// `copies − 1` more only if no answer arrives within `after` —
+    /// near-tail-only duplication cost.
+    Hedged {
+        /// Total copies including the primary (≥ 2).
+        copies: usize,
+        /// Delay before each additional copy is released.
+        after: Duration,
+    },
+}
+
+impl Policy {
+    /// Total copies this policy may issue.
+    pub fn max_copies(&self) -> usize {
+        match *self {
+            Policy::Single => 1,
+            Policy::Always { copies } | Policy::Hedged { copies, .. } => copies,
+        }
+    }
+
+    /// Expected *extra* load multiplier relative to `Single`, given the
+    /// probability `p_slow` that an operation outlives the hedging delay.
+    /// `Always(k)` always costs k×; a hedge costs `1 + (k−1)·p_slow`.
+    pub fn expected_load_factor(&self, p_slow: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_slow));
+        match *self {
+            Policy::Single => 1.0,
+            Policy::Always { copies } => copies as f64,
+            Policy::Hedged { copies, .. } => 1.0 + (copies as f64 - 1.0) * p_slow,
+        }
+    }
+
+    /// Validates structural invariants (copies ≥ 2 for redundant modes).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            Policy::Single => Ok(()),
+            Policy::Always { copies } | Policy::Hedged { copies, .. } => {
+                if copies >= 2 {
+                    Ok(())
+                } else {
+                    Err("redundant policies need at least 2 copies")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_factors() {
+        assert_eq!(Policy::Single.expected_load_factor(0.5), 1.0);
+        assert_eq!(Policy::Always { copies: 2 }.expected_load_factor(0.5), 2.0);
+        let hedge = Policy::Hedged {
+            copies: 2,
+            after: Duration::from_millis(5),
+        };
+        // Hedging at the 95th percentile costs ~5% extra load.
+        assert!((hedge.expected_load_factor(0.05) - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Policy::Single.validate().is_ok());
+        assert!(Policy::Always { copies: 1 }.validate().is_err());
+        assert!(Policy::Always { copies: 3 }.validate().is_ok());
+    }
+
+    #[test]
+    fn max_copies() {
+        assert_eq!(Policy::Single.max_copies(), 1);
+        assert_eq!(
+            Policy::Hedged {
+                copies: 4,
+                after: Duration::ZERO
+            }
+            .max_copies(),
+            4
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Async race-to-first-response on tokio.
+//!
+//! `tokio::select!` is the natural way to express "first answer wins" for
+//! two futures; for *k* copies we spawn tasks feeding an mpsc channel and
+//! abort the stragglers — equivalent semantics, any k, and the losers'
+//! cancellation is tokio-native (dropping/aborting a future cancels it at
+//! its next await point, no token plumbing required).
+
+use std::future::Future;
+use std::time::Duration;
+use tokio::sync::mpsc;
+use tokio::task::JoinSet;
+
+/// Races futures; resolves to `(value, winner_index)` of the first to
+/// complete. Remaining copies are aborted. Returns `None` on empty input
+/// or if every copy panics.
+pub async fn race_async<T, F>(futs: Vec<F>) -> Option<(T, usize)>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+{
+    if futs.is_empty() {
+        return None;
+    }
+    let (tx, mut rx) = mpsc::channel::<(usize, T)>(futs.len());
+    let mut set = JoinSet::new();
+    for (i, f) in futs.into_iter().enumerate() {
+        let tx = tx.clone();
+        set.spawn(async move {
+            let v = f.await;
+            let _ = tx.send((i, v)).await;
+        });
+    }
+    drop(tx);
+    let (winner, value) = rx.recv().await?;
+    set.abort_all();
+    Some((value, winner))
+}
+
+/// Hedged async execution: polls `make(0)` immediately and releases
+/// `make(i)` after `i × delay` of continued silence; first completion wins
+/// and stragglers are aborted.
+///
+/// `copies` must be ≥ 1. Returns `(value, winner_index, launched)`.
+pub async fn hedged_async<T, F, M>(
+    make: M,
+    copies: usize,
+    delay: Duration,
+) -> Option<(T, usize, usize)>
+where
+    T: Send + 'static,
+    F: Future<Output = T> + Send + 'static,
+    M: Fn(usize) -> F,
+{
+    if copies == 0 {
+        return None;
+    }
+    let (tx, mut rx) = mpsc::channel::<(usize, T)>(copies);
+    let mut set = JoinSet::new();
+    let mut launched = 0usize;
+
+    let launch = |set: &mut JoinSet<()>, launched: &mut usize| {
+        let i = *launched;
+        let f = make(i);
+        let tx = tx.clone();
+        set.spawn(async move {
+            let v = f.await;
+            let _ = tx.send((i, v)).await;
+        });
+        *launched += 1;
+    };
+
+    launch(&mut set, &mut launched);
+    loop {
+        if launched < copies {
+            match tokio::time::timeout(delay, rx.recv()).await {
+                Ok(Some((winner, value))) => {
+                    set.abort_all();
+                    return Some((value, winner, launched));
+                }
+                Ok(None) => return None,
+                Err(_) => launch(&mut set, &mut launched),
+            }
+        } else {
+            let out = rx.recv().await;
+            set.abort_all();
+            return out.map(|(winner, value)| (value, winner, launched));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[tokio::test]
+    async fn fastest_future_wins() {
+        let (v, winner) = race_async(vec![
+            Box::pin(async {
+                tokio::time::sleep(Duration::from_millis(50)).await;
+                "slow"
+            }) as std::pin::Pin<Box<dyn Future<Output = &'static str> + Send>>,
+            Box::pin(async {
+                tokio::time::sleep(Duration::from_millis(1)).await;
+                "fast"
+            }),
+        ])
+        .await
+        .unwrap();
+        assert_eq!(v, "fast");
+        assert_eq!(winner, 1);
+    }
+
+    #[tokio::test]
+    async fn empty_race_is_none() {
+        let out: Option<(u8, usize)> =
+            race_async(Vec::<std::pin::Pin<Box<dyn Future<Output = u8> + Send>>>::new()).await;
+        assert!(out.is_none());
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn hedge_skips_when_primary_fast() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = fired.clone();
+        let out = hedged_async(
+            move |i| {
+                let fired = f2.clone();
+                async move {
+                    fired.fetch_max(i + 1, Ordering::SeqCst);
+                    tokio::time::sleep(Duration::from_millis(1)).await;
+                    i
+                }
+            },
+            3,
+            Duration::from_millis(100),
+        )
+        .await
+        .unwrap();
+        assert_eq!(out.0, 0, "primary should win");
+        assert_eq!(out.2, 1, "no hedges launched");
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn hedge_fires_for_slow_primary() {
+        let out = hedged_async(
+            |i| async move {
+                // Copy 0 is pathologically slow; copy 1 is instant.
+                let ms = if i == 0 { 10_000 } else { 1 };
+                tokio::time::sleep(Duration::from_millis(ms)).await;
+                i
+            },
+            2,
+            Duration::from_millis(5),
+        )
+        .await
+        .unwrap();
+        assert_eq!(out.0, 1, "hedge should win");
+        assert_eq!(out.2, 2);
+    }
+
+    #[tokio::test]
+    async fn losers_are_aborted() {
+        let completions = Arc::new(AtomicUsize::new(0));
+        let c = completions.clone();
+        let futs: Vec<_> = (0..4usize)
+            .map(|i| {
+                let c = c.clone();
+                Box::pin(async move {
+                    tokio::time::sleep(Duration::from_millis(if i == 0 { 1 } else { 200 })).await;
+                    c.fetch_add(1, Ordering::SeqCst);
+                    i
+                }) as std::pin::Pin<Box<dyn Future<Output = usize> + Send>>
+            })
+            .collect();
+        let (v, _) = race_async(futs).await.unwrap();
+        assert_eq!(v, 0);
+        // Give aborted tasks a moment; they must not complete.
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        assert_eq!(
+            completions.load(Ordering::SeqCst),
+            1,
+            "losers should have been aborted"
+        );
+    }
+}

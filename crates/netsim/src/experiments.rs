@@ -1,0 +1,270 @@
+//! The Figure 14 sweeps.
+//!
+//! Fig 14(a): % improvement in median small-flow FCT vs load for three
+//! (bandwidth, per-hop-delay) combinations — 5 Gbps/2 µs, 10 Gbps/2 µs,
+//! 10 Gbps/6 µs. The paper's shape: small at low load (little congestion to
+//! dodge), peaking near 40 %, falling at high load (every path congested),
+//! and shrinking as the delay-bandwidth product grows (queueing is a
+//! smaller share of FCT).
+//!
+//! Fig 14(b): 99th-percentile small-flow FCT vs load, with and without
+//! replication — the spike past 70 % load is unreplicated flows eating
+//! 10 ms minRTO timeouts.
+//!
+//! Fig 14(c): the small-flow FCT CDF at 40 % load.
+
+use crate::sim::{run, FctStats, SimConfig};
+use crate::tcp::TcpConfig;
+use simcore::stats::Ccdf;
+
+/// User-facing knobs for one Figure 14 data point.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Link rate, bytes/second.
+    pub link_rate_bytes_per_sec: f64,
+    /// Per-hop delay, seconds.
+    pub per_hop_delay: f64,
+    /// Offered load fraction.
+    pub load: f64,
+    /// Flows to simulate.
+    pub flows: usize,
+    /// Packets of each flow to replicate when replication is on.
+    pub replicate_first: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            link_rate_bytes_per_sec: 625.0e6, // 5 Gbps
+            per_hop_delay: 2.0e-6,
+            load: 0.4,
+            flows: 20_000,
+            replicate_first: 8,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The paper's three delay/bandwidth combinations for Fig 14(a).
+    pub fn paper_combos() -> Vec<(&'static str, f64, f64)> {
+        vec![
+            ("5 Gbps, 2 us per hop", 625.0e6, 2.0e-6),
+            ("10 Gbps, 2 us per hop", 1250.0e6, 2.0e-6),
+            ("10 Gbps, 6 us per hop", 1250.0e6, 6.0e-6),
+        ]
+    }
+
+    fn to_sim(&self, replicate: bool, seed: u64) -> SimConfig {
+        SimConfig {
+            k: 6,
+            link_rate_bytes_per_sec: self.link_rate_bytes_per_sec,
+            per_hop_delay: self.per_hop_delay,
+            buffer_bytes: crate::port::DEFAULT_BUFFER_BYTES,
+            replicate_first: if replicate { self.replicate_first } else { 0 },
+            tcp: TcpConfig::default(),
+            load: self.load,
+            flows: self.flows,
+            seed,
+        }
+    }
+}
+
+/// A paired (baseline, replicated) run over identical flows.
+#[derive(Debug)]
+pub struct PairOutput {
+    /// Without replication.
+    pub baseline: FctStats,
+    /// With first-J-packet replication.
+    pub replicated: FctStats,
+}
+
+impl PairOutput {
+    /// Percent improvement in median small-flow FCT.
+    pub fn median_improvement_pct(&mut self) -> f64 {
+        let b = self.baseline.small_median();
+        let r = self.replicated.small_median();
+        100.0 * (1.0 - r / b)
+    }
+
+    /// Percent improvement in mean FCT for elephant flows (≥ 1 MB) — the
+    /// paper reports this as statistically insignificant (~0.1 %).
+    pub fn elephant_mean_change_pct(&self) -> f64 {
+        if self.baseline.large.is_empty() || self.replicated.large.is_empty() {
+            return 0.0;
+        }
+        let b = self.baseline.large.mean();
+        let r = self.replicated.large.mean();
+        100.0 * (1.0 - r / b)
+    }
+}
+
+/// Runs the baseline and the replicated fabric on identical flows.
+pub fn run_pair(cfg: &NetConfig, seed: u64) -> PairOutput {
+    PairOutput {
+        baseline: run(&cfg.to_sim(false, seed)),
+        replicated: run(&cfg.to_sim(true, seed)),
+    }
+}
+
+/// One Fig 14(a) row.
+#[derive(Clone, Debug)]
+pub struct Fig14aRow {
+    /// Which (bandwidth, delay) combo.
+    pub combo: &'static str,
+    /// Offered load.
+    pub load: f64,
+    /// Median small-flow FCT without replication (seconds).
+    pub median_baseline: f64,
+    /// Median small-flow FCT with replication (seconds).
+    pub median_replicated: f64,
+    /// Percent improvement.
+    pub improvement_pct: f64,
+}
+
+/// Sweeps Fig 14(a): all three combos across `loads`.
+pub fn fig14a(loads: &[f64], flows: usize, seed: u64) -> Vec<Fig14aRow> {
+    let mut rows = Vec::new();
+    for (combo, rate, delay) in NetConfig::paper_combos() {
+        for &load in loads {
+            let cfg = NetConfig {
+                link_rate_bytes_per_sec: rate,
+                per_hop_delay: delay,
+                load,
+                flows,
+                ..NetConfig::default()
+            };
+            let mut pair = run_pair(&cfg, seed);
+            rows.push(Fig14aRow {
+                combo,
+                load,
+                median_baseline: pair.baseline.small_median(),
+                median_replicated: pair.replicated.small_median(),
+                improvement_pct: pair.median_improvement_pct(),
+            });
+        }
+    }
+    rows
+}
+
+/// One Fig 14(b) row: 99th-percentile small-flow FCT.
+#[derive(Clone, Debug)]
+pub struct Fig14bRow {
+    /// Offered load.
+    pub load: f64,
+    /// p99 without replication, seconds.
+    pub p99_baseline: f64,
+    /// p99 with replication, seconds.
+    pub p99_replicated: f64,
+    /// Timeout counts (baseline, replicated) — the paper's explanation for
+    /// the 70-80 % spike.
+    pub timeouts: (u64, u64),
+}
+
+/// Sweeps Fig 14(b) on the 5 Gbps / 2 µs fabric.
+pub fn fig14b(loads: &[f64], flows: usize, seed: u64) -> Vec<Fig14bRow> {
+    loads
+        .iter()
+        .map(|&load| {
+            let cfg = NetConfig {
+                load,
+                flows,
+                ..NetConfig::default()
+            };
+            let mut pair = run_pair(&cfg, seed);
+            Fig14bRow {
+                load,
+                p99_baseline: pair.baseline.small_p99(),
+                p99_replicated: pair.replicated.small_p99(),
+                timeouts: (pair.baseline.timeouts, pair.replicated.timeouts),
+            }
+        })
+        .collect()
+}
+
+/// Fig 14(c): small-flow FCT CCDFs at one load (baseline, replicated).
+pub fn fig14c(load: f64, flows: usize, points: usize, seed: u64) -> (Ccdf, Ccdf) {
+    let cfg = NetConfig {
+        load,
+        flows,
+        ..NetConfig::default()
+    };
+    let mut pair = run_pair(&cfg, seed);
+    (
+        pair.baseline.small.ccdf(points),
+        pair.replicated.small.ccdf(points),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_peaks_at_intermediate_load() {
+        // Fig 14(a) shape: low < mid (the falling right edge needs
+        // near-saturation runs that belong in the full harness).
+        let cfg_low = NetConfig {
+            load: 0.1,
+            flows: 4_000,
+            ..NetConfig::default()
+        };
+        let cfg_mid = NetConfig {
+            load: 0.4,
+            flows: 4_000,
+            ..NetConfig::default()
+        };
+        let mut low = run_pair(&cfg_low, 3);
+        let mut mid = run_pair(&cfg_mid, 3);
+        assert!(
+            mid.median_improvement_pct() > low.median_improvement_pct(),
+            "low {:.1}% vs mid {:.1}%",
+            low.median_improvement_pct(),
+            mid.median_improvement_pct()
+        );
+    }
+
+    #[test]
+    fn elephants_unaffected() {
+        // The paper reports a statistically-insignificant change for flows
+        // over 1 MB. With test-sized runs (~100 elephants) the mean is
+        // dominated by a handful of timeout-bearing giants, so compare the
+        // median, which is stable at this sample size.
+        let cfg = NetConfig {
+            load: 0.25,
+            flows: 6_000,
+            ..NetConfig::default()
+        };
+        let mut pair = run_pair(&cfg, 7);
+        let b = pair.baseline.large.median();
+        let r = pair.replicated.large.median();
+        let change = (1.0 - r / b).abs() * 100.0;
+        assert!(
+            change < 15.0,
+            "elephant median FCT should be essentially unchanged, got {change:.2}%"
+        );
+    }
+
+    #[test]
+    fn higher_delay_bandwidth_product_shrinks_gain() {
+        // Fig 14(a): the 10 Gbps / 6 us combo should gain less than
+        // 5 Gbps / 2 us at the same load.
+        let base = NetConfig {
+            load: 0.4,
+            flows: 5_000,
+            ..NetConfig::default()
+        };
+        let big_dbp = NetConfig {
+            link_rate_bytes_per_sec: 1250.0e6,
+            per_hop_delay: 6.0e-6,
+            ..base.clone()
+        };
+        let mut small = run_pair(&base, 11);
+        let mut large = run_pair(&big_dbp, 11);
+        assert!(
+            small.median_improvement_pct() > large.median_improvement_pct() - 3.0,
+            "5G/2us {:.1}% should beat 10G/6us {:.1}%",
+            small.median_improvement_pct(),
+            large.median_improvement_pct()
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Output ports: strict priority, drop-tail, store-and-forward.
+//!
+//! Each unidirectional link is an output port of its transmitting node. A
+//! port has two FIFO queues — high (original traffic) and low (replicas) —
+//! served with **strict priority**: a low-priority packet is dequeued only
+//! when the high queue is empty. Each class has its own 225 KB drop-tail
+//! buffer; giving replicas a separate (rather than shared) allocation is
+//! what lets the implementation honor the paper's guarantee that replicas
+//! "can never delay the original, unreplicated traffic" — a shared buffer
+//! would let queued replicas force drops of originals.
+
+use crate::packet::{Packet, Priority};
+use std::collections::VecDeque;
+
+/// Default per-class buffer: the paper's 225 KB.
+pub const DEFAULT_BUFFER_BYTES: u32 = 225 * 1024;
+
+/// One output port.
+#[derive(Clone, Debug)]
+pub struct Port {
+    /// Line rate, bytes/second.
+    pub rate_bytes_per_sec: f64,
+    /// Propagation delay to the far end, seconds.
+    pub propagation: f64,
+    hi: VecDeque<Packet>,
+    lo: VecDeque<Packet>,
+    hi_bytes: u32,
+    lo_bytes: u32,
+    cap_bytes: u32,
+    /// `true` while a packet is on the wire.
+    pub busy: bool,
+    /// Drop counters (diagnostics).
+    pub dropped_hi: u64,
+    /// Dropped low-priority (replica) packets.
+    pub dropped_lo: u64,
+}
+
+impl Port {
+    /// Creates a port with the given rate/delay and per-class buffer cap.
+    pub fn new(rate_bytes_per_sec: f64, propagation: f64, cap_bytes: u32) -> Self {
+        assert!(rate_bytes_per_sec > 0.0 && propagation >= 0.0);
+        Port {
+            rate_bytes_per_sec,
+            propagation,
+            hi: VecDeque::new(),
+            lo: VecDeque::new(),
+            hi_bytes: 0,
+            lo_bytes: 0,
+            cap_bytes,
+            busy: false,
+            dropped_hi: 0,
+            dropped_lo: 0,
+        }
+    }
+
+    /// Attempts to enqueue; returns `false` (and counts the drop) if the
+    /// packet's class buffer is full.
+    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+        match pkt.priority() {
+            Priority::High => {
+                if self.hi_bytes + pkt.bytes > self.cap_bytes {
+                    self.dropped_hi += 1;
+                    false
+                } else {
+                    self.hi_bytes += pkt.bytes;
+                    self.hi.push_back(pkt);
+                    true
+                }
+            }
+            Priority::Low => {
+                if self.lo_bytes + pkt.bytes > self.cap_bytes {
+                    self.dropped_lo += 1;
+                    false
+                } else {
+                    self.lo_bytes += pkt.bytes;
+                    self.lo.push_back(pkt);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Dequeues the next packet under strict priority.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        if let Some(p) = self.hi.pop_front() {
+            self.hi_bytes -= p.bytes;
+            Some(p)
+        } else if let Some(p) = self.lo.pop_front() {
+            self.lo_bytes -= p.bytes;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes queued (both classes).
+    pub fn queued_bytes(&self) -> u32 {
+        self.hi_bytes + self.lo_bytes
+    }
+
+    /// `true` when both queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.hi.is_empty() && self.lo.is_empty()
+    }
+
+    /// Serialization time for a packet of `bytes`.
+    pub fn tx_time(&self, bytes: u32) -> f64 {
+        bytes as f64 / self.rate_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+
+    fn data(seq: u32, replica: bool, bytes: u32) -> Packet {
+        Packet {
+            flow: 0,
+            kind: PacketKind::Data { seq, replica },
+            bytes,
+            dst: 1,
+        }
+    }
+
+    #[test]
+    fn strict_priority_serves_high_first() {
+        let mut p = Port::new(1e9, 1e-6, DEFAULT_BUFFER_BYTES);
+        p.enqueue(data(0, true, 100));
+        p.enqueue(data(1, false, 100));
+        p.enqueue(data(2, true, 100));
+        p.enqueue(data(3, false, 100));
+        let order: Vec<u32> = std::iter::from_fn(|| p.dequeue())
+            .map(|pkt| match pkt.kind {
+                PacketKind::Data { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut p = Port::new(1e9, 1e-6, DEFAULT_BUFFER_BYTES);
+        for s in 0..10 {
+            p.enqueue(data(s, false, 100));
+        }
+        for s in 0..10 {
+            let got = p.dequeue().unwrap();
+            assert!(matches!(got.kind, PacketKind::Data { seq, .. } if seq == s));
+        }
+    }
+
+    #[test]
+    fn droptail_per_class() {
+        let mut p = Port::new(1e9, 1e-6, 1000);
+        // Fill the low class; the high class must be unaffected.
+        assert!(p.enqueue(data(0, true, 600)));
+        assert!(p.enqueue(data(1, true, 400)));
+        assert!(!p.enqueue(data(2, true, 1)));
+        assert_eq!(p.dropped_lo, 1);
+        assert!(p.enqueue(data(3, false, 1000)));
+        assert_eq!(p.dropped_hi, 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut p = Port::new(1e9, 1e-6, 10_000);
+        p.enqueue(data(0, false, 1500));
+        p.enqueue(data(1, true, 500));
+        assert_eq!(p.queued_bytes(), 2000);
+        p.dequeue();
+        assert_eq!(p.queued_bytes(), 500);
+        p.dequeue();
+        assert_eq!(p.queued_bytes(), 0);
+        assert!(p.dequeue().is_none());
+    }
+
+    #[test]
+    fn tx_time_is_bytes_over_rate() {
+        let p = Port::new(625e6, 2e-6, DEFAULT_BUFFER_BYTES); // 5 Gbps
+        let t = p.tx_time(1500);
+        assert!((t - 2.4e-6).abs() < 1e-12, "t = {t}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Two-moment response-time approximation — our stand-in for the paper's
+//! use of Myers & Vernon [23].
+//!
+//! The paper evaluates its Conjecture 1 ("deterministic service minimizes
+//! the threshold load") inside an approximation of the M/G/1 response-time
+//! *distribution* that depends only on the first two moments of the service
+//! time. The exact Myers–Vernon formula is not reproducible offline, so we
+//! build a documented substitute with the same inputs and regime:
+//!
+//! * **Waiting time** `W`: an atom of mass `1 − u` at zero (PASTA: an
+//!   arrival finds the server idle with the exact probability `1 − u`) plus
+//!   an exponential excursion with mean `W_PK/u`, so that `E[W]` equals the
+//!   exact Pollaczek–Khinchine mean.
+//! * **Service** `S`: a Gamma fit to `(E[S], Var S)` (point mass when
+//!   Var S = 0). `R = W + S` with `W ⊥ S` (true for FIFO M/G/1).
+//! * The response CCDF is then *exactly computable* for the model:
+//!   `P(R > x) = Q_S(x) + u·e^{−μx}(1−μθ)^{−κ}·P_Γ(κ, (1/θ−μ)x)` when the
+//!   exponential rate `μ = u/W_PK` is smaller than the Gamma rate `1/θ`
+//!   (closed-form Gamma⊛Exp convolution), and by an exponential
+//!   quantile-mixture quadrature otherwise.
+//! * **Replication**: the k-copy response is the min of k i.i.d. model
+//!   responses at per-server load `kρ`; its mean is `∫ P(R > x)^k dx`.
+//!
+//! Exactness anchors: for exponential service the model CCDF collapses
+//! algebraically to `e^{−(1−u)x}` — the *true* M/M/1 response law — so
+//! Theorem 1's threshold of 1/3 is reproduced to the bisection tolerance.
+//! For deterministic service everything is closed-form and the threshold is
+//! `1 − √2/2 ≈ 0.2929` (vs ≈ 0.258 simulated — the right end of the
+//! corridor, and the *minimum over distributions* as Theorem 2 requires;
+//! see the tests).
+//!
+//! **Validity regime.** Like the original Myers–Vernon estimate — whose
+//! authors "note that the approximation is likely to be inappropriate when
+//! the service times are heavy tailed" (quoted in the paper) — this model
+//! is trustworthy for light-tailed service (scv ≲ 1, the
+//! deterministic–Erlang–exponential range). Beyond scv = 1 the exponential
+//! excursion underestimates how much a min-of-two gains from heavy waiting
+//! tails, and the model's threshold drifts back toward its deterministic
+//! floor instead of climbing toward 50 % as simulation does. That is
+//! precisely why the paper (and [`crate::analytic::heavy_tail`]) switch to
+//! a regularly-varying asymptotic in the heavy regime, and why Figure 2's
+//! curves come from simulation ([`crate::threshold`]) rather than from this
+//! approximation.
+
+use super::bisect_threshold;
+use super::pk::{self, ServiceMoments};
+use simcore::special::{gamma_p, gamma_q};
+
+/// Atom-exponential-wait + Gamma-service response model at one utilization.
+#[derive(Clone, Debug)]
+pub struct AtomExpResponse {
+    /// Per-server utilization u.
+    pub utilization: f64,
+    /// Rate of the conditional (busy-found) exponential wait.
+    mu: f64,
+    /// Gamma service shape (`None` = deterministic service).
+    shape: Option<f64>,
+    /// Gamma service scale, or the deterministic service time.
+    scale: f64,
+    mean_service: f64,
+    mean_wait: f64,
+}
+
+impl AtomExpResponse {
+    /// Fits the model at utilization `u` for service moments `s`.
+    pub fn fit(s: ServiceMoments, u: f64) -> Self {
+        assert!((0.0..1.0).contains(&u), "utilization out of range: {u}");
+        let w = pk::mean_wait(s, u);
+        // Conditional wait mean w/u; mu is its rate. At u = 0 the wait is
+        // identically zero; use an arbitrary finite rate (atom mass is 1).
+        let mu = if w > 0.0 { u / w } else { 1.0 };
+        let (shape, scale) = if s.variance <= 1e-12 * s.mean * s.mean {
+            (None, s.mean)
+        } else {
+            (Some(s.mean * s.mean / s.variance), s.variance / s.mean)
+        };
+        AtomExpResponse {
+            utilization: u,
+            mu,
+            shape,
+            scale,
+            mean_service: s.mean,
+            mean_wait: w,
+        }
+    }
+
+    /// Mean of the model response — the exact P–K mean by construction.
+    pub fn mean(&self) -> f64 {
+        self.mean_service + self.mean_wait
+    }
+
+    /// Service-time CCDF of the fitted (Gamma or degenerate) service law.
+    fn service_ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        match self.shape {
+            None => {
+                if x < self.scale {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Some(k) => gamma_q(k, x / self.scale),
+        }
+    }
+
+    /// CCDF of the model response `R = W + S`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 1.0;
+        }
+        let u = self.utilization;
+        if u == 0.0 {
+            return self.service_ccdf(x);
+        }
+        match self.shape {
+            None => {
+                // Deterministic service d: P(R > x) = 1 for x < d, else the
+                // busy-branch exponential tail u·e^{−μ(x−d)}.
+                let d = self.scale;
+                if x < d {
+                    1.0
+                } else {
+                    u * (-self.mu * (x - d)).exp()
+                }
+            }
+            Some(k) => {
+                let theta = self.scale;
+                let a = 1.0 / theta - self.mu;
+                if a > 1e-9 {
+                    // Closed-form Gamma ⊛ Exp convolution.
+                    let conv = (-self.mu * x).exp()
+                        * (1.0 - self.mu * theta).powf(-k)
+                        * gamma_p(k, a * x);
+                    (self.service_ccdf(x) + u * conv).min(1.0)
+                } else {
+                    // mu >= Gamma rate: integrate over exponential-wait
+                    // quantiles (midpoint rule on equal-probability strata).
+                    const M: usize = 256;
+                    let mut acc = (1.0 - u) * self.service_ccdf(x);
+                    for j in 0..M {
+                        let q = (j as f64 + 0.5) / M as f64;
+                        let t = -(1.0 - q).ln() / self.mu;
+                        acc += (u / M as f64) * self.service_ccdf(x - t);
+                    }
+                    acc.min(1.0)
+                }
+            }
+        }
+    }
+
+    /// Mean of the min of `k` i.i.d. model responses.
+    pub fn mean_min_of(&self, k: u32) -> f64 {
+        assert!(k >= 1);
+        if k == 1 {
+            return self.mean();
+        }
+        if self.shape.is_none() {
+            // Analytic: d + ∫ u^k e^{−kμt} dt.
+            let kf = k as f64;
+            return self.scale + self.utilization.powf(kf) / (kf * self.mu);
+        }
+        integrate_ccdf_log(|x| self.ccdf(x).powi(k as i32), self.mean())
+    }
+}
+
+/// Integrates a nonincreasing `ccdf` over (0, ∞) on a log-spaced grid —
+/// robust to distributions whose mass spans many orders of magnitude.
+fn integrate_ccdf_log(ccdf: impl Fn(f64) -> f64, scale_hint: f64) -> f64 {
+    let lo = scale_hint * 1e-7;
+    let mut hi = scale_hint.max(1e-12);
+    let mut guard = 0;
+    while ccdf(hi) > 1e-10 && guard < 400 {
+        hi *= 1.5;
+        guard += 1;
+    }
+    let n = 4_000usize;
+    let ratio = (hi / lo).powf(1.0 / n as f64);
+    // Integral over [0, lo] bounded by lo (ccdf <= 1 there).
+    let mut acc = lo * ccdf(lo * 0.5).min(1.0);
+    let mut x = lo;
+    let mut f_prev = ccdf(lo);
+    for _ in 0..n {
+        let x_next = x * ratio;
+        let f_next = ccdf(x_next);
+        acc += 0.5 * (f_prev + f_next) * (x_next - x);
+        x = x_next;
+        f_prev = f_next;
+    }
+    acc
+}
+
+/// Mean response under k-way replication within the approximation: min of
+/// k fitted responses, each at per-server load `k·rho`.
+pub fn mean_response_replicated(s: ServiceMoments, rho: f64, k: u32) -> f64 {
+    let u = rho * k as f64;
+    assert!(u < 1.0, "k*rho = {u} saturates");
+    AtomExpResponse::fit(s, u).mean_min_of(k)
+}
+
+/// Threshold load within the approximation (k = 2): root of
+/// `mean₂(ρ) − mean₁(ρ)`.
+pub fn threshold(s: ServiceMoments) -> f64 {
+    bisect_threshold(
+        |rho| mean_response_replicated(s, rho, 2) - pk::mean_response(s, rho),
+        1e-4,
+    )
+}
+
+/// Threshold as a function of the squared coefficient of variation, for
+/// unit-mean service — the approximation's view of Fig 2's x-axes.
+pub fn threshold_for_scv(scv: f64) -> f64 {
+    threshold(ServiceMoments::new(1.0, scv))
+}
+
+/// The closed-form threshold for deterministic service within this model:
+/// `1 − √2/2 ≈ 0.2929` (solve `ρ²/(1−2ρ) = ρ/(2(1−ρ))`).
+pub fn deterministic_threshold_closed_form() -> f64 {
+    1.0 - std::f64::consts::SQRT_2 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::Distribution;
+    use simcore::dist::{Deterministic, Erlang, Exponential, HyperExponential};
+
+    #[test]
+    fn exact_for_mm1() {
+        // Exponential service: the model CCDF must equal the true M/M/1
+        // response law e^{−(1−u)x}, and the threshold must be 1/3.
+        let s = ServiceMoments::of(&Exponential::unit());
+        let fit = AtomExpResponse::fit(s, 0.4);
+        for &x in &[0.1, 0.5, 1.0, 3.0, 8.0] {
+            let exact = (-0.6f64 * x).exp();
+            let got = fit.ccdf(x);
+            assert!(
+                (got - exact).abs() < 1e-9,
+                "ccdf({x}) {got} vs exact {exact}"
+            );
+        }
+        let thr = threshold(s);
+        assert!((thr - 1.0 / 3.0).abs() < 2e-3, "threshold {thr}");
+    }
+
+    #[test]
+    fn min_of_two_halves_exponential_mean() {
+        let s = ServiceMoments::of(&Exponential::unit());
+        let fit = AtomExpResponse::fit(s, 0.4);
+        let m2 = fit.mean_min_of(2);
+        assert!(
+            (m2 - fit.mean() / 2.0).abs() < 0.005 * fit.mean(),
+            "m2 {m2} vs half of {}",
+            fit.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_closed_form() {
+        let t = threshold(ServiceMoments::of(&Deterministic::unit()));
+        let expect = deterministic_threshold_closed_form();
+        assert!(
+            (t - expect).abs() < 1e-3,
+            "deterministic threshold {t} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_minimizes_threshold() {
+        // Theorem 2 (within the approximation): deterministic service is
+        // the worst case for replication.
+        let t_det = threshold(ServiceMoments::of(&Deterministic::unit()));
+        for dist in [
+            Box::new(Exponential::unit()) as Box<dyn Distribution>,
+            Box::new(Erlang::unit_mean(2)),
+            Box::new(Erlang::unit_mean(8)),
+            Box::new(HyperExponential::unit_mean_with_scv(2.0)),
+            Box::new(HyperExponential::unit_mean_with_scv(8.0)),
+        ] {
+            let t = threshold(ServiceMoments::of(dist.as_ref()));
+            assert!(
+                t >= t_det - 1e-3,
+                "{}: threshold {t} below deterministic {t_det}",
+                dist.label()
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_monotone_in_scv_light_tail_regime() {
+        // Within the approximation's regime of validity (light tails,
+        // scv <= 1: the deterministic -> Erlang -> exponential family) the
+        // threshold rises with variability, as in the paper's Fig 2.
+        let ts: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&scv| threshold_for_scv(scv))
+            .collect();
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0] - 2e-3, "not monotone: {ts:?}");
+        }
+        assert!(ts.iter().all(|&t| t < 0.5));
+    }
+
+    #[test]
+    fn threshold_bounded_for_all_scv() {
+        // Outside the light-tail regime the approximation is documented to
+        // be conservative, but it must stay inside the paper's conjectured
+        // corridor: never below the deterministic floor, never at/above 50%.
+        let floor = deterministic_threshold_closed_form();
+        for scv in [2.0, 4.0, 8.0, 32.0] {
+            let t = threshold_for_scv(scv);
+            assert!(
+                (floor - 1e-3..0.5).contains(&t),
+                "scv {scv}: threshold {t} escapes [{floor}, 0.5)"
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_tracks_simulation_mean() {
+        // The model's k=2 mean should be within ~10% of simulation for a
+        // moderate-variance service law.
+        use crate::model::{run, Config};
+        let dist = Erlang::unit_mean(2);
+        let s = ServiceMoments::of(&dist);
+        let rho = 0.2;
+        let sim = run(
+            &Config::new(dist, rho)
+                .with_copies(2)
+                .with_requests(200_000, 20_000),
+            17,
+        )
+        .moments
+        .mean();
+        let approx = mean_response_replicated(s, rho, 2);
+        assert!(
+            (sim - approx).abs() / sim < 0.10,
+            "sim {sim} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn ccdf_monotone_and_bounded() {
+        for scv in [0.0, 0.5, 1.0, 4.0] {
+            let s = ServiceMoments::new(1.0, scv);
+            let fit = AtomExpResponse::fit(s, 0.5);
+            let mut prev = 1.0;
+            for i in 1..400 {
+                let x = i as f64 * 0.05;
+                let c = fit.ccdf(x);
+                assert!((0.0..=1.0).contains(&c), "scv {scv} x {x}: {c}");
+                assert!(c <= prev + 1e-9, "scv {scv}: ccdf increased at {x}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn model_mean_equals_pk_mean() {
+        for scv in [0.0, 1.0, 3.0] {
+            let s = ServiceMoments::new(1.0, scv);
+            for u in [0.1, 0.5, 0.9] {
+                let fit = AtomExpResponse::fit(s, u);
+                assert!((fit.mean() - pk::mean_response(s, u)).abs() < 1e-12);
+            }
+        }
+    }
+}

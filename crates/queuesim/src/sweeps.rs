@@ -1,0 +1,238 @@
+//! Parameter sweeps behind Figures 1–4 of the paper.
+//!
+//! Each function returns plain data series (no I/O); the `repro-bench`
+//! harness formats them into the same rows the paper plots. Everything is
+//! deterministic given the options' seed.
+
+use crate::model::{run, Config, RunResult};
+use crate::threshold::{threshold_load, ThresholdOptions};
+use simcore::dist::{Distribution, Pareto, TwoPoint, Weibull};
+use simcore::rng::Rng;
+use simcore::simplex::random_unit_mean_discrete;
+use simcore::stats::Ccdf;
+
+/// One point of a mean-response-vs-load curve (Fig 1(a)/1(b)).
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPoint {
+    /// Base per-server load ρ.
+    pub load: f64,
+    /// Mean response time with 1 copy.
+    pub mean_single: f64,
+    /// Mean response time with 2 copies.
+    pub mean_double: f64,
+    /// 99.9th percentile with 1 copy.
+    pub p999_single: f64,
+    /// 99.9th percentile with 2 copies.
+    pub p999_double: f64,
+}
+
+/// Sweeps mean response time over `loads` for 1 and 2 copies (Fig 1(a)/(b)).
+pub fn mean_vs_load<D: Distribution + Clone>(
+    dist: &D,
+    loads: &[f64],
+    requests: usize,
+    seed: u64,
+) -> Vec<LoadPoint> {
+    loads
+        .iter()
+        .map(|&rho| {
+            let base = Config::new(dist.clone(), rho).with_requests(requests, requests / 10);
+            let mut single = run(&base.clone().with_copies(1), seed);
+            let mut double = run(&base.with_copies(2), seed);
+            LoadPoint {
+                load: rho,
+                mean_single: single.moments.mean(),
+                mean_double: double.moments.mean(),
+                p999_single: single.response.quantile(0.999),
+                p999_double: double.response.quantile(0.999),
+            }
+        })
+        .collect()
+}
+
+/// Response-time CCDFs at one load for 1 and 2 copies (Fig 1(c)).
+pub fn ccdf_at_load<D: Distribution + Clone>(
+    dist: &D,
+    load: f64,
+    requests: usize,
+    points: usize,
+    seed: u64,
+) -> (Ccdf, Ccdf) {
+    let base = Config::new(dist.clone(), load).with_requests(requests, requests / 10);
+    let mut single = run(&base.clone().with_copies(1), seed);
+    let mut double = run(&base.with_copies(2), seed);
+    (single.response.ccdf(points), double.response.ccdf(points))
+}
+
+/// Runs the model once and returns the full result (for callers needing
+/// custom statistics).
+pub fn run_once<D: Distribution + Clone>(
+    dist: &D,
+    load: f64,
+    copies: usize,
+    requests: usize,
+    seed: u64,
+) -> RunResult {
+    run(
+        &Config::new(dist.clone(), load)
+            .with_copies(copies)
+            .with_requests(requests, requests / 10),
+        seed,
+    )
+}
+
+/// Fig 2(a): threshold load vs Weibull inverse shape γ.
+pub fn weibull_family(gammas: &[f64], opts: &ThresholdOptions) -> Vec<(f64, f64)> {
+    gammas
+        .iter()
+        .map(|&g| (g, threshold_load(&Weibull::unit_mean_inverse_shape(g), opts)))
+        .collect()
+}
+
+/// Fig 2(b): threshold load vs Pareto inverse scale β.
+pub fn pareto_family(betas: &[f64], opts: &ThresholdOptions) -> Vec<(f64, f64)> {
+    betas
+        .iter()
+        .map(|&b| (b, threshold_load(&Pareto::unit_mean_inverse_scale(b), opts)))
+        .collect()
+}
+
+/// Fig 2(c): threshold load vs the two-point parameter p.
+pub fn two_point_family(ps: &[f64], opts: &ThresholdOptions) -> Vec<(f64, f64)> {
+    ps.iter()
+        .map(|&p| (p, threshold_load(&TwoPoint::new(p), opts)))
+        .collect()
+}
+
+/// One row of Fig 3: the spread of threshold loads over randomly drawn
+/// unit-mean discrete distributions with a given support size.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDistRow {
+    /// Support size N.
+    pub support: usize,
+    /// Smallest threshold observed across the random draws.
+    pub min_threshold: f64,
+    /// Largest threshold observed.
+    pub max_threshold: f64,
+}
+
+/// Fig 3: for each support size, draws `samples` random distributions from
+/// a symmetric Dirichlet(α) on the simplex (α = 1 → the paper's "Uniform"
+/// series; α = 0.1 → its "Dirichlet" series), normalizes them to unit mean,
+/// and reports the min/max threshold load observed.
+pub fn random_distributions(
+    supports: &[usize],
+    samples: usize,
+    alpha: f64,
+    opts: &ThresholdOptions,
+) -> Vec<RandomDistRow> {
+    let mut rng = Rng::seed_from(opts.seed ^ 0xF16_3);
+    supports
+        .iter()
+        .map(|&n| {
+            let mut min_thr = f64::INFINITY;
+            let mut max_thr = f64::NEG_INFINITY;
+            for _ in 0..samples {
+                let d = random_unit_mean_discrete(&mut rng, n, alpha);
+                let t = threshold_load(&d, opts);
+                min_thr = min_thr.min(t);
+                max_thr = max_thr.max(t);
+            }
+            RandomDistRow {
+                support: n,
+                min_threshold: min_thr,
+                max_threshold: max_thr,
+            }
+        })
+        .collect()
+}
+
+/// Fig 4: threshold load vs client-side overhead (as a fraction of the
+/// mean service time), for one service distribution.
+pub fn overhead_sweep<D: Distribution + Clone>(
+    dist: &D,
+    overhead_fractions: &[f64],
+    opts: &ThresholdOptions,
+) -> Vec<(f64, f64)> {
+    let mean = dist.mean();
+    overhead_fractions
+        .iter()
+        .map(|&frac| {
+            let o = opts.clone().with_overhead(frac * mean);
+            (frac, threshold_load(dist, &o))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::{Deterministic, Exponential};
+
+    #[test]
+    fn fig1_shape_deterministic() {
+        // Fig 1(a): with deterministic service, the k=2 curve crosses the
+        // k=1 curve between ~0.2 and ~0.35 load.
+        let pts = mean_vs_load(
+            &Deterministic::unit(),
+            &[0.1, 0.2, 0.3, 0.4],
+            60_000,
+            1,
+        );
+        assert!(pts[0].mean_double <= pts[0].mean_single + 1e-3);
+        assert!(pts[3].mean_double > pts[3].mean_single);
+    }
+
+    #[test]
+    fn fig1c_tail_orders() {
+        let (single, double) = ccdf_at_load(&Pareto::unit_mean(2.1), 0.2, 80_000, 30, 3);
+        // Every tail fraction of the replicated curve is <= the single's at
+        // matching thresholds (curves share the log grid only roughly, so
+        // compare at the single curve's median threshold).
+        let mid = single.entries()[single.entries().len() / 2];
+        let d_at = double
+            .entries()
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - mid.0)
+                    .abs()
+                    .partial_cmp(&(b.0 - mid.0).abs())
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(d_at.1 <= mid.1 + 0.01, "double {d_at:?} vs single {mid:?}");
+    }
+
+    #[test]
+    fn fig2c_endpoints() {
+        // p = 0 is deterministic (threshold ~0.26); large p is heavy
+        // (threshold near 0.5).
+        let opts = ThresholdOptions::fast();
+        let rows = two_point_family(&[0.0, 0.9], &opts);
+        assert!(rows[0].1 < 0.31, "p=0 threshold {}", rows[0].1);
+        assert!(rows[1].1 > rows[0].1, "{rows:?}");
+    }
+
+    #[test]
+    fn fig3_rows_within_conjecture() {
+        let mut opts = ThresholdOptions::fast();
+        opts.requests = 20_000;
+        opts.replications = 3;
+        let rows = random_distributions(&[2, 8], 3, 1.0, &opts);
+        for r in &rows {
+            assert!(
+                r.min_threshold >= 0.2 && r.max_threshold < 0.5,
+                "row {r:?} violates the conjectured band"
+            );
+            assert!(r.min_threshold <= r.max_threshold);
+        }
+    }
+
+    #[test]
+    fn fig4_overhead_collapses_threshold() {
+        let opts = ThresholdOptions::fast();
+        let rows = overhead_sweep(&Exponential::unit(), &[0.0, 1.0], &opts);
+        assert!(rows[0].1 > 0.28, "zero-overhead threshold {}", rows[0].1);
+        assert!(rows[1].1 < 0.05, "full-overhead threshold {}", rows[1].1);
+    }
+}

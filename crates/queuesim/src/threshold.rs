@@ -1,0 +1,226 @@
+//! The threshold load: the paper's §2.1 metric of interest.
+//!
+//! > "The threshold load, defined formally as the largest utilization below
+//! > which replication always helps mean response time."
+//!
+//! We locate it as the root of `g(ρ) = mean(k=2, ρ) − mean(k=1, ρ)`, which
+//! is negative below the threshold (replication wins) and positive above.
+//! Because `g` is a small difference of two noisy estimates, each evaluation
+//! uses paired runs (common random numbers — see [`crate::model`]) averaged
+//! over several independent seeds, and the bisection treats an evaluation as
+//! decisive only relative to its standard error.
+
+use crate::model::{run, Config};
+use simcore::dist::Distribution;
+
+/// Tuning for the threshold search. Defaults are figure-quality; tests use
+/// [`ThresholdOptions::fast`].
+#[derive(Clone, Debug)]
+pub struct ThresholdOptions {
+    /// Servers in the simulated cluster.
+    pub servers: usize,
+    /// Measured requests per run.
+    pub requests: usize,
+    /// Warm-up requests per run.
+    pub warmup: usize,
+    /// Independent seed pairs averaged per evaluation of `g`.
+    pub replications: usize,
+    /// Bisection terminates when the bracket is narrower than this.
+    pub tolerance: f64,
+    /// Client-side overhead added per replicated request (Fig 4's x-axis).
+    pub replication_overhead: f64,
+    /// Scale run length with the service distribution's variance: the mean
+    /// of a heavy-tailed response converges slowly, and under-sampling the
+    /// tail biases the k = 1 mean down more than the k = 2 mean (the min of
+    /// two is lighter), dragging the estimated threshold below truth. With
+    /// scaling, the Figure 2 families keep climbing toward the 50 % ceiling
+    /// as the paper's do.
+    pub scale_with_variance: bool,
+    /// Base RNG seed; distinct evaluations derive from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for ThresholdOptions {
+    fn default() -> Self {
+        ThresholdOptions {
+            servers: 20,
+            requests: 150_000,
+            warmup: 15_000,
+            replications: 6,
+            tolerance: 0.004,
+            replication_overhead: 0.0,
+            scale_with_variance: true,
+            seed: 0x7357_0001,
+        }
+    }
+}
+
+impl ThresholdOptions {
+    /// A much cheaper configuration for unit/integration tests: wider
+    /// tolerance, fewer requests.
+    pub fn fast() -> Self {
+        ThresholdOptions {
+            servers: 20,
+            requests: 40_000,
+            warmup: 4_000,
+            replications: 4,
+            tolerance: 0.01,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the client-side replication overhead.
+    pub fn with_overhead(mut self, overhead: f64) -> Self {
+        self.replication_overhead = overhead;
+        self
+    }
+}
+
+/// Paired estimate of `mean(k=2) − mean(k=1)` at base load `rho`, together
+/// with the standard error of the paired differences across replications.
+pub fn replication_gain<D: Distribution + Clone>(
+    dist: &D,
+    rho: f64,
+    opts: &ThresholdOptions,
+) -> (f64, f64) {
+    let mut diffs = Vec::with_capacity(opts.replications);
+    let factor = if opts.scale_with_variance {
+        let scv = dist.scv();
+        if scv.is_finite() { (1.0 + scv / 2.0).clamp(1.0, 8.0) } else { 8.0 }
+    } else {
+        1.0
+    };
+    let requests = (opts.requests as f64 * factor) as usize;
+    let warmup = (opts.warmup as f64 * factor) as usize;
+    for r in 0..opts.replications {
+        let seed = opts
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
+        let base = Config::new(dist.clone(), rho)
+            .with_servers(opts.servers)
+            .with_requests(requests, warmup)
+            .with_replication_overhead(opts.replication_overhead);
+        let single = run(&base.clone().with_copies(1), seed);
+        let double = run(&base.with_copies(2), seed);
+        diffs.push(double.moments.mean() - single.moments.mean());
+    }
+    let n = diffs.len() as f64;
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    (mean, (var / n).sqrt())
+}
+
+/// Finds the threshold load for 2-way replication of `dist`.
+///
+/// Returns a value in `[0, 0.5)`. By construction the threshold cannot reach
+/// 0.5 (the replicated system would saturate); it returns ~0 when
+/// replication never helps (e.g. overwhelming client-side overhead, Fig 4's
+/// right edge).
+pub fn threshold_load<D: Distribution + Clone>(dist: &D, opts: &ThresholdOptions) -> f64 {
+    let mut lo = 0.01f64;
+    let mut hi = 0.495f64;
+
+    // If replication already hurts at the lowest load we test, the
+    // threshold is effectively zero.
+    let (g_lo, se_lo) = replication_gain(dist, lo, opts);
+    if g_lo > 2.0 * se_lo {
+        return 0.0;
+    }
+    // If replication still helps just under saturation, the threshold is at
+    // its ceiling.
+    let (g_hi, se_hi) = replication_gain(dist, hi, opts);
+    if g_hi < -2.0 * se_hi {
+        return hi;
+    }
+
+    while hi - lo > opts.tolerance {
+        let mid = 0.5 * (lo + hi);
+        let (g, _se) = replication_gain(dist, mid, opts);
+        if g < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::{Deterministic, Exponential, Pareto};
+
+    #[test]
+    fn exponential_threshold_is_one_third() {
+        // Theorem 1. Fast options give +-0.02 accuracy, plenty to separate
+        // 1/3 from the deterministic ~0.26 and the Pareto ~0.4+.
+        let thr = threshold_load(&Exponential::unit(), &ThresholdOptions::fast());
+        assert!(
+            (thr - 1.0 / 3.0).abs() < 0.035,
+            "exponential threshold {thr} != 1/3"
+        );
+    }
+
+    #[test]
+    fn deterministic_threshold_near_quarter() {
+        // Paper: ~25.82%, the conjectured worst case.
+        let thr = threshold_load(&Deterministic::unit(), &ThresholdOptions::fast());
+        assert!(
+            (0.22..0.31).contains(&thr),
+            "deterministic threshold {thr} not near 0.26"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_threshold_exceeds_exponential() {
+        let fast = ThresholdOptions::fast();
+        let heavy = threshold_load(&Pareto::unit_mean(2.1), &fast);
+        let exp = threshold_load(&Exponential::unit(), &fast);
+        assert!(
+            heavy > exp,
+            "expected heavier tail to raise threshold: pareto={heavy} exp={exp}"
+        );
+        // Fig 2(b): visibly above the exponential 1/3 at this tail weight.
+        // (Short fast-mode runs under-sample the heavy tail, so the sim
+        // estimate sits below the asymptotic ~0.45; the full-length figure
+        // harness recovers it.)
+        assert!(heavy > 0.345, "pareto threshold {heavy}");
+    }
+
+    #[test]
+    fn thresholds_live_in_the_conjectured_band() {
+        // The paper's central claim: 25% <= threshold < 50% for any service
+        // distribution when client cost is zero.
+        let fast = ThresholdOptions::fast();
+        for dist in [
+            Box::new(Exponential::unit()) as Box<dyn Distribution>,
+            Box::new(Deterministic::unit()),
+            Box::new(Pareto::unit_mean(3.0)),
+        ] {
+            let thr = threshold_load(&dist.as_ref(), &fast);
+            assert!(
+                (0.22..0.5).contains(&thr),
+                "{} threshold {thr} outside band",
+                dist.label()
+            );
+        }
+    }
+
+    #[test]
+    fn large_overhead_kills_threshold() {
+        // Fig 4: once the client-side penalty reaches the mean service time,
+        // replication cannot help the mean at any load.
+        let opts = ThresholdOptions::fast().with_overhead(1.0);
+        let thr = threshold_load(&Exponential::unit(), &opts);
+        assert!(thr < 0.05, "threshold {thr} should collapse");
+    }
+
+    #[test]
+    fn gain_sign_flips_across_threshold() {
+        let opts = ThresholdOptions::fast();
+        let (g_low, _) = replication_gain(&Exponential::unit(), 0.15, &opts);
+        let (g_high, _) = replication_gain(&Exponential::unit(), 0.45, &opts);
+        assert!(g_low < 0.0, "replication should help at 0.15: {g_low}");
+        assert!(g_high > 0.0, "replication should hurt at 0.45: {g_high}");
+    }
+}

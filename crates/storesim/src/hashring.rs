@@ -1,0 +1,149 @@
+//! Consistent hashing — the placement substrate of the §2.2 store.
+//!
+//! The paper: "The files are partitioned across servers via consistent
+//! hashing, and two copies are stored of every file: if the primary is
+//! stored on server n, the (replicated) secondary goes to server n + 1."
+//!
+//! [`HashRing`] implements classic Karger-style consistent hashing with
+//! virtual nodes; [`HashRing::primary`] gives the owner of a key, and
+//! [`HashRing::replicas`] applies the paper's n, n+1, … rule in *server
+//! index* space (not ring space), exactly as quoted.
+
+/// 64-bit mix used for both vnode positions and key hashes (SplitMix64
+/// finalizer — good avalanche, stable across platforms).
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring mapping `u64` keys to server indices.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    servers: usize,
+    /// Sorted `(position, server)` pairs.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds a ring over `servers` nodes with `vnodes` virtual points each.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(servers: usize, vnodes: usize) -> Self {
+        assert!(servers > 0, "ring needs at least one server");
+        assert!(vnodes > 0, "ring needs at least one vnode per server");
+        let mut points = Vec::with_capacity(servers * vnodes);
+        for s in 0..servers {
+            for v in 0..vnodes {
+                // Position derived from (server, vnode); stable as servers
+                // are added, which is what makes the ring *consistent*.
+                let pos = mix64((s as u64) << 32 | v as u64);
+                points.push((pos, s as u32));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        HashRing { servers, points }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The server owning `key` (first vnode clockwise of the key's hash).
+    pub fn primary(&self, key: u64) -> usize {
+        let h = mix64(key);
+        let idx = self.points.partition_point(|&(pos, _)| pos < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1 as usize
+    }
+
+    /// The paper's replica rule: primary on server `n`, copies on
+    /// `n+1, n+2, …` (mod server count). Returns `k` distinct servers.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the server count.
+    pub fn replicas(&self, key: u64, k: usize) -> Vec<usize> {
+        assert!(k <= self.servers, "cannot place {k} copies on {} servers", self.servers);
+        let p = self.primary(key);
+        (0..k).map(|i| (p + i) % self.servers).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_lookup() {
+        let ring = HashRing::new(4, 64);
+        for key in 0..1000u64 {
+            assert_eq!(ring.primary(key), ring.primary(key));
+        }
+    }
+
+    #[test]
+    fn balance_with_enough_vnodes() {
+        let servers = 8;
+        let ring = HashRing::new(servers, 128);
+        let mut counts = HashMap::new();
+        let n = 100_000u64;
+        for key in 0..n {
+            *counts.entry(ring.primary(key)).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), servers);
+        let expect = n as f64 / servers as f64;
+        for (&s, &c) in &counts {
+            let skew = c as f64 / expect;
+            assert!(
+                (0.75..1.25).contains(&skew),
+                "server {s} owns {c} keys (skew {skew:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn replica_rule_is_n_plus_one() {
+        let ring = HashRing::new(5, 32);
+        for key in 0..200u64 {
+            let reps = ring.replicas(key, 2);
+            assert_eq!(reps.len(), 2);
+            assert_eq!(reps[1], (reps[0] + 1) % 5);
+        }
+    }
+
+    #[test]
+    fn adding_a_server_moves_few_keys() {
+        // The consistency property: growing the ring from 9 to 10 servers
+        // should move roughly 1/10th of keys, not reshuffle everything.
+        let before = HashRing::new(9, 128);
+        let after = HashRing::new(10, 128);
+        let n = 50_000u64;
+        let moved = (0..n)
+            .filter(|&k| before.primary(k) != after.primary(k))
+            .count();
+        let frac = moved as f64 / n as f64;
+        assert!(
+            frac < 0.2,
+            "adding one server moved {frac:.2} of keys (expected ~0.1)"
+        );
+        // And every moved key must now live on the new server.
+        for k in 0..n {
+            if before.primary(k) != after.primary(k) {
+                assert_eq!(after.primary(k), 9, "key {k} moved to an old server");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copies")]
+    fn too_many_replicas_panics() {
+        let ring = HashRing::new(3, 8);
+        let _ = ring.replicas(1, 4);
+    }
+}

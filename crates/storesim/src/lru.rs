@@ -1,0 +1,283 @@
+//! A byte-capacity LRU cache — our stand-in for the Linux page cache.
+//!
+//! The §2.2 experiment sizes main memory so "around half … is available for
+//! the Linux disk cache" and then varies the cache:disk ratio. The only
+//! properties the experiment depends on are (a) a hard byte capacity,
+//! (b) least-recently-used eviction, and (c) hit/miss classification per
+//! access — all provided here by a slab-backed intrusive doubly-linked list
+//! with O(1) touch/insert/evict and no `unsafe`.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    key: u64,
+    bytes: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// Byte-capacity LRU over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    map: HashMap<u64, u32>,
+    slab: Vec<Node>,
+    free: Vec<u32>,
+    /// Most recently used.
+    head: u32,
+    /// Least recently used (eviction end).
+    tail: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hits recorded by [`access`](Self::access).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by [`access`](Self::access).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.slab[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[idx as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Looks up `key` without recording statistics or touching recency.
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// The access path a read takes: returns `true` (hit; entry moved to
+    /// MRU) or `false` (miss; caller is expected to [`insert`](Self::insert)
+    /// after "reading from disk").
+    pub fn access(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.hits += 1;
+            self.detach(idx);
+            self.push_front(idx);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts (or refreshes) `key` at `bytes`, evicting LRU entries until
+    /// it fits. Objects larger than the whole cache are *not* cached
+    /// (matching page-cache behaviour for files exceeding memory) and
+    /// `false` is returned.
+    pub fn insert(&mut self, key: u64, bytes: u64) -> bool {
+        if bytes > self.capacity {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            // Size update + touch.
+            let old = self.slab[idx as usize].bytes;
+            self.used = self.used - old + bytes;
+            self.slab[idx as usize].bytes = bytes;
+            self.detach(idx);
+            self.push_front(idx);
+        } else {
+            let idx = if let Some(idx) = self.free.pop() {
+                self.slab[idx as usize] = Node {
+                    key,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            } else {
+                assert!(self.slab.len() < u32::MAX as usize - 1, "cache too large");
+                self.slab.push(Node {
+                    key,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                });
+                (self.slab.len() - 1) as u32
+            };
+            self.map.insert(key, idx);
+            self.used += bytes;
+            self.push_front(idx);
+        }
+        while self.used > self.capacity {
+            self.evict_lru();
+        }
+        true
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert!(victim != NIL, "over capacity with empty list");
+        let (key, bytes) = {
+            let n = &self.slab[victim as usize];
+            (n.key, n.bytes)
+        };
+        self.detach(victim);
+        self.map.remove(&key);
+        self.free.push(victim);
+        self.used -= bytes;
+    }
+
+    /// Keys from most- to least-recently used (test/diagnostic helper;
+    /// O(n)).
+    pub fn keys_mru_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            let n = &self.slab[cur as usize];
+            out.push(n.key);
+            cur = n.next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_bookkeeping() {
+        let mut c = LruCache::new(100);
+        assert!(!c.access(1));
+        c.insert(1, 10);
+        assert!(c.access(1));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = LruCache::new(30);
+        c.insert(1, 10);
+        c.insert(2, 10);
+        c.insert(3, 10);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.access(1));
+        c.insert(4, 10); // must evict 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert!(c.contains(4));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = LruCache::new(100);
+        for k in 0..1000u64 {
+            c.insert(k, 7);
+            assert!(c.used_bytes() <= 100, "used {} > cap", c.used_bytes());
+        }
+        assert_eq!(c.len(), (100 / 7) as usize);
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut c = LruCache::new(50);
+        c.insert(1, 10);
+        assert!(!c.insert(2, 51));
+        assert!(c.contains(1), "oversized insert must not evict");
+        assert_eq!(c.used_bytes(), 10);
+    }
+
+    #[test]
+    fn resize_existing_entry() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 10);
+        c.insert(1, 40);
+        assert_eq!(c.used_bytes(), 40);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn mru_order_reflects_touches() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 1);
+        c.insert(2, 1);
+        c.insert(3, 1);
+        c.access(1);
+        assert_eq!(c.keys_mru_order(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction() {
+        let mut c = LruCache::new(10);
+        for k in 0..10_000u64 {
+            c.insert(k, 5);
+        }
+        // Only ~2 entries alive at a time; slab must not grow unboundedly.
+        assert!(c.slab.len() <= 4, "slab grew to {}", c.slab.len());
+    }
+}

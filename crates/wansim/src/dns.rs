@@ -1,0 +1,430 @@
+//! Replicated DNS queries (§3.2): race the k best of 10 resolvers.
+//!
+//! The paper's methodology on each of 15 PlanetLab nodes:
+//!
+//! 1. **Stage 1** — rank the 10 DNS servers by mean response time, probing
+//!    a random name at a random server every 5 s for a week.
+//! 2. **Stage 2** — repeatedly either query one individual server or the
+//!    top k (k = 1…10) in parallel, taking the first answer. Queries
+//!    slower than 2 s count as lost and are scored as 2 s.
+//!
+//! Results: 50–62 % reduction in mean/median/95th/99th latency with 10
+//! servers vs the best single server (44–57 % vs the best server *in
+//! retrospect*), a 6.5× cut in the fraction of responses later than 500 ms
+//! and 50× later than 1.5 s (Fig 15/16), and incremental per-server value
+//! that stays above the 16 ms/KB benchmark for the 99th percentile but not
+//! the mean beyond ~5 servers (Fig 17).
+//!
+//! Our stand-in for PlanetLab + public resolvers: each server is a shifted
+//! heavy-tailed mixture (anycast RTT + cache hit/miss at the resolver) with
+//! an independent loss probability; the 2 s cap is applied exactly as in
+//! the paper. Server heterogeneity (one clearly-best resolver, a mid pack,
+//! two poor ones) mirrors the measured reality that makes ranking matter.
+
+use simcore::dist::{Distribution, LogNormal};
+use simcore::rng::Rng;
+use simcore::stats::SampleSet;
+
+/// The paper's loss convention: queries slower than this count as lost and
+/// are scored at exactly this value.
+pub const CAP_SECONDS: f64 = 2.0;
+
+/// Wire cost per additional replicated query (request + response), bytes.
+/// The paper's accounting: 10 copies of every query ≈ 4500 extra bytes.
+pub const BYTES_PER_COPY: f64 = 500.0;
+
+/// One resolver's response-time model.
+#[derive(Clone, Debug)]
+pub struct DnsServerModel {
+    /// Network round trip to the resolver, seconds.
+    pub base_rtt: f64,
+    /// Probability the name is in the resolver's cache.
+    pub hit_prob: f64,
+    /// Server-side processing jitter on a hit.
+    pub hit_jitter: LogNormal,
+    /// Extra time for upstream resolution on a miss.
+    pub miss_extra: LogNormal,
+    /// Probability the query or response is lost (scored as the 2 s cap).
+    pub loss_prob: f64,
+}
+
+impl DnsServerModel {
+    /// Draws one response time, applying the 2 s loss cap.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        if rng.chance(self.loss_prob) {
+            return CAP_SECONDS;
+        }
+        let t = if rng.chance(self.hit_prob) {
+            self.base_rtt + self.hit_jitter.sample(rng)
+        } else {
+            self.base_rtt + self.miss_extra.sample(rng)
+        };
+        t.min(CAP_SECONDS)
+    }
+
+    /// Analytic-ish mean (ignoring the cap's truncation, which is small).
+    pub fn approx_mean(&self) -> f64 {
+        self.loss_prob * CAP_SECONDS
+            + (1.0 - self.loss_prob)
+                * (self.base_rtt
+                    + self.hit_prob * self.hit_jitter.mean()
+                    + (1.0 - self.hit_prob) * self.miss_extra.mean())
+    }
+}
+
+/// Client-side congestion shared by every resolver in a trial (the access
+/// link and first-hop path are common to all copies from one vantage
+/// point). This is what keeps deep replication from erasing the tail
+/// entirely: the min over k servers cannot dodge a stall they all share.
+#[derive(Clone, Debug)]
+pub struct CommonNoise {
+    /// Probability a trial is affected.
+    pub prob: f64,
+    /// Extra delay added to every server's response in an affected trial.
+    pub extra: LogNormal,
+}
+
+impl CommonNoise {
+    /// Samples the shared extra delay for one trial (0 when unaffected).
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        if rng.chance(self.prob) {
+            self.extra.sample(rng)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The set of resolvers visible from one vantage point.
+#[derive(Clone, Debug)]
+pub struct DnsPopulation {
+    /// The servers, in arbitrary (unranked) order.
+    pub servers: Vec<DnsServerModel>,
+    /// Shared access-link noise.
+    pub common: CommonNoise,
+}
+
+impl DnsPopulation {
+    /// A 10-server population shaped like the paper's (default local
+    /// resolver + 9 public services): one excellent local server, a pack of
+    /// decent anycast services, and a couple of slow or lossy ones. `seed`
+    /// perturbs the constants so different "vantage points" (the paper's 15
+    /// PlanetLab nodes) see different rankings.
+    pub fn paper_like(seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed ^ 0xD25);
+        let mut jig = |x: f64| x * rng.f64_range(0.85, 1.15);
+        // (base_rtt ms, hit prob, miss mean ms, loss prob). Hit rates are
+        // modest across the board: the paper queries *random* names from
+        // the Alexa top-1M, most of which sit cold in any resolver's cache
+        // — this thick independent miss mass is exactly what keeps the
+        // 99th percentile improving all the way to 10-way replication
+        // (Fig 17). The local resolver is closest and (having resolved this
+        // vantage point's tail before) warmest.
+        let raw: [(f64, f64, f64, f64); 10] = [
+            (9.0, 0.45, 110.0, 0.004),  // default local resolver
+            (14.0, 0.45, 130.0, 0.005), // big anycast #1
+            (18.0, 0.42, 140.0, 0.005), // big anycast #2
+            (24.0, 0.40, 160.0, 0.006),
+            (30.0, 0.38, 180.0, 0.008),
+            (38.0, 0.36, 200.0, 0.008),
+            (48.0, 0.33, 230.0, 0.010),
+            (60.0, 0.30, 270.0, 0.012),
+            (75.0, 0.28, 310.0, 0.015),
+            (95.0, 0.25, 350.0, 0.020), // distant, cold, lossy
+        ];
+        let servers = raw
+            .into_iter()
+            .map(|(rtt, hit, miss, loss)| DnsServerModel {
+                base_rtt: jig(rtt) * 1e-3,
+                hit_prob: (hit * jig(1.0)).min(0.95),
+                hit_jitter: LogNormal::with_mean_sigma(jig(4.0) * 1e-3, 0.6),
+                miss_extra: LogNormal::with_mean_sigma(jig(miss) * 1e-3, 1.2),
+                loss_prob: jig(loss),
+            })
+            .collect();
+        DnsPopulation {
+            servers,
+            common: CommonNoise {
+                prob: 0.012,
+                extra: LogNormal::with_mean_sigma(250.0e-3, 0.8),
+            },
+        }
+    }
+}
+
+/// The two-stage experiment at one vantage point.
+#[derive(Clone, Debug)]
+pub struct DnsExperiment {
+    /// The resolver population.
+    pub population: DnsPopulation,
+    /// Server indices sorted best-first by the stage-1 mean estimate.
+    pub ranking: Vec<usize>,
+}
+
+impl DnsExperiment {
+    /// Runs stage 1: estimates each server's mean from `probes_per_server`
+    /// queries and ranks them.
+    pub fn rank(population: DnsPopulation, probes_per_server: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed ^ 0x57A6E1);
+        let mut means: Vec<(usize, f64)> = population
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let total: f64 = (0..probes_per_server).map(|_| s.sample(&mut rng)).sum();
+                (i, total / probes_per_server as f64)
+            })
+            .collect();
+        means.sort_by(|a, b| a.1.total_cmp(&b.1));
+        DnsExperiment {
+            population,
+            ranking: means.into_iter().map(|(i, _)| i).collect(),
+        }
+    }
+
+    /// One stage-2 replicated trial: query the top `k` servers in parallel
+    /// and take the first answer (losses everywhere score the 2 s cap).
+    /// Access-link noise is shared by all copies within the trial.
+    pub fn race(&self, k: usize, rng: &mut Rng) -> f64 {
+        assert!(k >= 1 && k <= self.ranking.len());
+        let common = self.population.common.sample(rng);
+        self.ranking[..k]
+            .iter()
+            .map(|&i| {
+                let t = self.population.servers[i].sample(rng);
+                if t >= CAP_SECONDS { t } else { (t + common).min(CAP_SECONDS) }
+            })
+            .fold(CAP_SECONDS, f64::min)
+    }
+
+    /// Runs `trials` stage-2 trials at replication `k`.
+    pub fn run_trials(&self, k: usize, trials: usize, seed: u64) -> SampleSet {
+        let mut rng = Rng::seed_from(seed ^ (k as u64) << 32 ^ 0xFACE);
+        (0..trials).map(|_| self.race(k, &mut rng)).collect()
+    }
+
+    /// Runs `trials` stage-2 trials for *every* k simultaneously with
+    /// common random numbers: each trial draws one response per server and
+    /// scores k as the min over the top-k draws. `out[k-1]` is the sample
+    /// set for k copies. This is how Fig 16/17's small inter-k differences
+    /// stay noise-free (and it guarantees the k+1 curve dominates the k
+    /// curve pointwise, as it must).
+    pub fn run_all_k(&self, trials: usize, seed: u64) -> Vec<SampleSet> {
+        let n = self.ranking.len();
+        let mut rng = Rng::seed_from(seed ^ 0xA11);
+        let mut out: Vec<SampleSet> = (0..n).map(|_| SampleSet::with_capacity(trials)).collect();
+        for _ in 0..trials {
+            let common = self.population.common.sample(&mut rng);
+            let mut best = CAP_SECONDS;
+            for (j, &srv) in self.ranking.iter().enumerate() {
+                let raw = self.population.servers[srv].sample(&mut rng);
+                let t = if raw >= CAP_SECONDS {
+                    raw
+                } else {
+                    (raw + common).min(CAP_SECONDS)
+                };
+                best = best.min(t);
+                out[j].push(best);
+            }
+        }
+        out
+    }
+
+    /// Samples each *individual* server (the paper's stage-2 singleton
+    /// trials), returning per-server sample sets — the basis for the
+    /// best-in-retrospect baseline.
+    pub fn individual_trials(&self, trials: usize, seed: u64) -> Vec<SampleSet> {
+        let mut rng = Rng::seed_from(seed ^ 0xBEEF);
+        self.population
+            .servers
+            .iter()
+            .map(|s| (0..trials).map(|_| s.sample(&mut rng)).collect())
+            .collect()
+    }
+}
+
+/// One row of the Fig 16 table: percentage reduction vs the best single
+/// server, by metric.
+#[derive(Clone, Copy, Debug)]
+pub struct ReductionRow {
+    /// Number of parallel copies.
+    pub k: usize,
+    /// Percent reduction in the mean.
+    pub mean_pct: f64,
+    /// Percent reduction in the median.
+    pub median_pct: f64,
+    /// Percent reduction in the 95th percentile.
+    pub p95_pct: f64,
+    /// Percent reduction in the 99th percentile.
+    pub p99_pct: f64,
+}
+
+/// Builds the Fig 16 reduction table against the stage-1 best server
+/// (k = 1 of the ranking), with common random numbers across k.
+pub fn reduction_table(exp: &DnsExperiment, trials: usize, seed: u64) -> Vec<ReductionRow> {
+    let mut sets = exp.run_all_k(trials, seed);
+    let b_mean = sets[0].mean();
+    let b_med = sets[0].median();
+    let b_p95 = sets[0].quantile(0.95);
+    let b_p99 = sets[0].quantile(0.99);
+    sets.iter_mut()
+        .enumerate()
+        .map(|(i, s)| ReductionRow {
+            k: i + 1,
+            mean_pct: 100.0 * (1.0 - s.mean() / b_mean),
+            median_pct: 100.0 * (1.0 - s.median() / b_med),
+            p95_pct: 100.0 * (1.0 - s.quantile(0.95) / b_p95),
+            p99_pct: 100.0 * (1.0 - s.quantile(0.99) / b_p99),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment() -> DnsExperiment {
+        DnsExperiment::rank(DnsPopulation::paper_like(1), 4_000, 99)
+    }
+
+    #[test]
+    fn stage1_ranking_orders_by_true_mean() {
+        let exp = experiment();
+        let truth: Vec<f64> = exp
+            .population
+            .servers
+            .iter()
+            .map(|s| s.approx_mean())
+            .collect();
+        // The best-ranked server should be among the true top 2, the
+        // worst-ranked among the true bottom 2 (sampling noise allowed).
+        let mut order: Vec<usize> = (0..truth.len()).collect();
+        order.sort_by(|&a, &b| truth[a].total_cmp(&truth[b]));
+        assert!(order[..2].contains(&exp.ranking[0]), "{:?}", exp.ranking);
+        assert!(order[8..].contains(&exp.ranking[9]), "{:?}", exp.ranking);
+    }
+
+    #[test]
+    fn racing_more_servers_reduces_mean_monotonically() {
+        // CRN across k: the k+1 minimum dominates the k minimum pointwise,
+        // so the means must be exactly nonincreasing.
+        let exp = experiment();
+        let sets = exp.run_all_k(60_000, 5);
+        let means: Vec<f64> = sets.iter().map(|s| s.mean()).collect();
+        for w in means.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "mean should not increase with k: {means:?}"
+            );
+        }
+        // And the independent-draw API agrees within Monte-Carlo noise.
+        let indep = exp.run_trials(10, 60_000, 5).mean();
+        assert!((indep - means[9]).abs() < 0.15 * means[9]);
+    }
+
+    #[test]
+    fn fig16_reduction_bands() {
+        // Paper: substantial reduction already at 2 servers; 50-62% at 10.
+        let exp = experiment();
+        let rows = reduction_table(&exp, 80_000, 17);
+        let k2 = &rows[1];
+        let k10 = &rows[9];
+        assert!(
+            k2.mean_pct > 10.0,
+            "2-server mean reduction too small: {k2:?}"
+        );
+        assert!(
+            (35.0..80.0).contains(&k10.mean_pct),
+            "10-server mean reduction off-band: {k10:?}"
+        );
+        assert!(
+            k10.median_pct > 20.0,
+            "median must move once the best server's misses dominate it: {k10:?}"
+        );
+        assert!(k10.p99_pct > 30.0, "tail should improve strongly: {k10:?}");
+    }
+
+    #[test]
+    fn fig15_tail_fractions() {
+        // Paper: fraction later than 500 ms cut ~6.5x with 10 servers;
+        // fraction later than 1.5 s cut ~50x.
+        let exp = experiment();
+        let mut single = exp.run_trials(1, 200_000, 23);
+        let mut ten = exp.run_trials(10, 200_000, 23);
+        let f500 = (single.tail_fraction(0.5), ten.tail_fraction(0.5));
+        let f1500 = (single.tail_fraction(1.5), ten.tail_fraction(1.5));
+        assert!(
+            f500.0 > 3.0 * f500.1,
+            "500 ms tail should shrink severalfold: {f500:?}"
+        );
+        assert!(
+            f1500.1 < f1500.0 / 8.0 + 1e-4,
+            "1.5 s tail should shrink by an order of magnitude: {f1500:?}"
+        );
+        // But the shared access-link noise keeps it from vanishing outright
+        // (the paper measured 50x, not infinity).
+        assert!(
+            f500.1 > 0.0,
+            "common noise should leave a residual 500 ms tail"
+        );
+    }
+
+    #[test]
+    fn best_in_retrospect_is_a_stricter_baseline() {
+        let exp = experiment();
+        let singles = exp.individual_trials(30_000, 31);
+        let retrospect_mean = singles
+            .iter()
+            .map(|s| s.mean())
+            .fold(f64::INFINITY, f64::min);
+        let ranked_best_mean = exp.run_trials(1, 30_000, 31).mean();
+        // Retrospect picks the minimum over *measured* means, so it can
+        // only be <= the stage-1 best (within noise).
+        assert!(retrospect_mean <= ranked_best_mean * 1.05);
+        // And racing all ten still beats even that baseline (the paper's
+        // 44-57% claim).
+        let ten_mean = exp.run_trials(10, 30_000, 37).mean();
+        assert!(
+            ten_mean < retrospect_mean * 0.70,
+            "10-way race {ten_mean} vs retrospect {retrospect_mean}"
+        );
+    }
+
+    #[test]
+    fn fig17_mean_stops_paying_but_tail_keeps_paying() {
+        use crate::costbench::{incremental_rates, BREAK_EVEN_MS_PER_KB};
+        let exp = experiment();
+        let mut sets = exp.run_all_k(200_000, 41);
+        let means: Vec<f64> = sets.iter().map(|s| s.mean() * 1e3).collect();
+        let p99s: Vec<f64> = sets.iter_mut().map(|s| s.quantile(0.99) * 1e3).collect();
+        let mean_rates = incremental_rates(&means, BYTES_PER_COPY);
+        let p99_rates = incremental_rates(&p99s, BYTES_PER_COPY);
+        // CRN guarantees nonnegative increments.
+        assert!(mean_rates.iter().all(|&r| r >= -1e-9), "{mean_rates:?}");
+        // Early copies clear the bar on the mean...
+        assert!(mean_rates[0] > BREAK_EVEN_MS_PER_KB, "{mean_rates:?}");
+        // ...but the marginal mean value decays below it by k = 10.
+        assert!(
+            mean_rates[8] < BREAK_EVEN_MS_PER_KB,
+            "late copies should stop paying on the mean: {mean_rates:?}"
+        );
+        // The tail keeps extracting more value per copy than the mean does
+        // deep into the server list (the paper's Fig 17 message).
+        let late_tail: f64 = p99_rates[4..].iter().sum();
+        let late_mean: f64 = mean_rates[4..].iter().sum();
+        assert!(
+            late_tail >= late_mean - 1e-9,
+            "tail {late_tail} vs mean {late_mean}"
+        );
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let exp = experiment();
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..20_000 {
+            let t = exp.race(3, &mut rng);
+            assert!(t > 0.0 && t <= CAP_SECONDS);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end integration tests: every headline claim of the paper, checked
+//! across crate boundaries at CI-sized effort.
+//!
+//! These intentionally go through the same entry points a user would: the
+//! `repro-bench` experiment runners and the public crate APIs.
+
+use low_latency_redundancy::queuesim::threshold::{threshold_load, ThresholdOptions};
+use low_latency_redundancy::simcore::dist::{Deterministic, Exponential, Pareto, TwoPoint};
+use repro_bench::{run_experiment, Effort};
+
+/// §2.1: "there is strong evidence to suggest that no matter what the
+/// service time distribution, the threshold load has to be more than 25%"
+/// and cannot exceed 50%.
+#[test]
+fn threshold_band_holds_across_distributions() {
+    let opts = ThresholdOptions::fast();
+    for dist in [
+        Box::new(Deterministic::unit()) as Box<dyn low_latency_redundancy::simcore::dist::Distribution>,
+        Box::new(Exponential::unit()),
+        Box::new(Pareto::unit_mean(2.5)),
+        Box::new(TwoPoint::new(0.5)),
+    ] {
+        let t = threshold_load(&dist.as_ref(), &opts);
+        assert!(
+            (0.22..0.5).contains(&t),
+            "{}: threshold {t} outside the paper's band",
+            dist.label()
+        );
+    }
+}
+
+/// Theorem 1 through the full reproduction harness.
+#[test]
+fn thm1_report_consistent() {
+    let out = run_experiment("thm1", Effort::Quick);
+    let vals: Vec<f64> = out
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.split('\t').nth(1)?.parse().ok())
+        .collect();
+    assert_eq!(vals.len(), 3, "three methods expected:\n{out}");
+    for v in vals {
+        assert!((v - 1.0 / 3.0).abs() < 0.04, "{v} != 1/3\n{out}");
+    }
+}
+
+/// §2.2 headline: the disk-backed store's threshold is ~30% and the tail
+/// improvement at 20% load is large.
+#[test]
+fn disk_store_report_shape() {
+    let out = run_experiment("fig5", Effort::Quick);
+    let rows: Vec<Vec<f64>> = out
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| l.split('\t').filter_map(|c| c.parse().ok()).collect())
+        .filter(|r: &Vec<f64>| r.len() == 5)
+        .collect();
+    let at = |load: f64| -> &Vec<f64> {
+        rows.iter()
+            .find(|r| (r[0] - load).abs() < 1e-9)
+            .unwrap_or_else(|| panic!("missing load {load} in:\n{out}"))
+    };
+    // Replication wins at 0.1, loses by 0.4 (mean columns 1 vs 2).
+    assert!(at(0.1)[2] < at(0.1)[1], "{:?}", at(0.1));
+    assert!(at(0.4)[2] > at(0.4)[1], "{:?}", at(0.4));
+    // Tail cut at 0.2 load (p999 columns 3 vs 4).
+    assert!(at(0.2)[4] < at(0.2)[3], "{:?}", at(0.2));
+}
+
+/// §2.3 headline: memcached replication is not a win at the tested loads.
+#[test]
+fn memcached_report_shape() {
+    let out = run_experiment("fig12", Effort::Quick);
+    let rows: Vec<Vec<f64>> = out
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| l.split('\t').filter_map(|c| c.parse().ok()).collect())
+        .filter(|r: &Vec<f64>| r.len() == 5)
+        .collect();
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(
+            r[2] > r[1] * 0.97,
+            "memcached replication should not clearly win at load {}: {r:?}",
+            r[0]
+        );
+    }
+}
+
+/// §2.4 headline: replicating the first packets improves the small-flow
+/// median at moderate load without hurting originals.
+#[test]
+fn network_replication_helps_small_flows() {
+    use low_latency_redundancy::netsim::experiments::{run_pair, NetConfig};
+    let cfg = NetConfig {
+        flows: 4_000,
+        load: 0.4,
+        ..NetConfig::default()
+    };
+    let mut pair = run_pair(&cfg, 5);
+    assert!(
+        pair.median_improvement_pct() > 3.0,
+        "improvement {:.1}%",
+        pair.median_improvement_pct()
+    );
+}
+
+/// §3.1 headline: handshake duplication saves ≥ an order of magnitude more
+/// than the 16 ms/KB break-even.
+#[test]
+fn handshake_cost_effectiveness() {
+    use low_latency_redundancy::wansim::costbench::savings_ms_per_kb;
+    use low_latency_redundancy::wansim::handshake::HandshakeModel;
+    let m = HandshakeModel::default();
+    let rate = savings_ms_per_kb(m.expected_savings() * 1e3, m.extra_bytes());
+    assert!(rate > 160.0, "{rate} ms/KB");
+}
+
+/// §3.2 headline: querying 10 DNS servers halves the latency metrics.
+#[test]
+fn dns_reduction_band() {
+    use low_latency_redundancy::wansim::dns::{reduction_table, DnsExperiment, DnsPopulation};
+    let exp = DnsExperiment::rank(DnsPopulation::paper_like(3), 3_000, 1);
+    let rows = reduction_table(&exp, 60_000, 2);
+    let last = rows.last().unwrap();
+    assert!(
+        (35.0..80.0).contains(&last.mean_pct),
+        "10-server mean reduction {last:?}"
+    );
+}
+
+/// The planner (library layer) and the simulator (model layer) agree on
+/// the replicate/don't-replicate decision far from the threshold.
+#[test]
+fn planner_agrees_with_simulation() {
+    use low_latency_redundancy::queuesim::model::{run, Config};
+    use low_latency_redundancy::redundancy::prelude::*;
+    let planner = Planner::new(WorkloadProfile {
+        mean_service: 1.0,
+        scv: 1.0,
+        client_overhead: 0.0,
+    });
+    for (load, expect) in [(0.2, true), (0.45, false)] {
+        let advice = planner.advise(load);
+        assert_eq!(advice.replicate, expect, "planner at {load}");
+        let base = Config::new(Exponential::unit(), load).with_requests(80_000, 8_000);
+        let single = run(&base.clone().with_copies(1), 3).moments.mean();
+        let double = run(&base.with_copies(2), 3).moments.mean();
+        assert_eq!(double < single, expect, "simulator at {load}");
+    }
+}
+
+/// The full experiment list dispatches (quick mode) for the cheap WAN and
+/// queueing figures — a smoke net over the harness wiring.
+#[test]
+fn harness_dispatch_smoke() {
+    for id in ["tcp", "fig16", "fig17"] {
+        let out = run_experiment(id, Effort::Quick);
+        assert!(out.contains("paper:"), "{id} report malformed");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests over the substrate invariants (proptest).
+//!
+//! Each property here is one the simulators rely on for *correctness of
+//! the reproduction*, not just code health: event ordering is what makes
+//! the FIFO queues exact; LRU equivalence is what makes the cache:disk
+//! ratio meaningful; ring monotonicity is what the paper's n/n+1 placement
+//! assumes; distribution normalization is what puts every Figure 2 family
+//! on the same unit-mean axis.
+
+use low_latency_redundancy::netsim::tcp::{TcpConfig, TcpReceiver, TcpSender};
+use low_latency_redundancy::netsim::topology::FatTree;
+use low_latency_redundancy::simcore::dist::{
+    DiscreteEmpirical, Distribution, LogNormal, Pareto, TwoPoint, Weibull,
+};
+use low_latency_redundancy::simcore::event::EventQueue;
+use low_latency_redundancy::simcore::rng::Rng;
+use low_latency_redundancy::simcore::stats::SampleSet;
+use low_latency_redundancy::simcore::time::SimTime;
+use low_latency_redundancy::storesim::hashring::HashRing;
+use low_latency_redundancy::storesim::lru::LruCache;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop sorted by time; ties pop in insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u32..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t as f64), i);
+        }
+        let mut popped: Vec<(f64, usize)> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_secs(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// LRU behaves exactly like a reference model (vector of (key,size),
+    /// most recent first, capacity-bounded).
+    #[test]
+    fn lru_matches_reference_model(
+        ops in prop::collection::vec((0u64..20, 1u64..40, prop::bool::ANY), 1..300),
+        cap in 50u64..200,
+    ) {
+        let mut lru = LruCache::new(cap);
+        let mut model: Vec<(u64, u64)> = Vec::new(); // MRU-first
+        for (key, size, is_insert) in ops {
+            if is_insert && size <= cap {
+                lru.insert(key, size);
+                model.retain(|&(k, _)| k != key);
+                model.insert(0, (key, size));
+                let mut used: u64 = model.iter().map(|&(_, s)| s).sum();
+                while used > cap {
+                    let (_, s) = model.pop().unwrap();
+                    used -= s;
+                }
+            } else if !is_insert {
+                let hit = lru.access(key);
+                let model_hit = model.iter().any(|&(k, _)| k == key);
+                prop_assert_eq!(hit, model_hit, "hit/miss diverged for {}", key);
+                if model_hit {
+                    let pos = model.iter().position(|&(k, _)| k == key).unwrap();
+                    let entry = model.remove(pos);
+                    model.insert(0, entry);
+                }
+            }
+            let used: u64 = model.iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(lru.used_bytes(), used);
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    /// Consistent hashing: keys only move *to the new server* when the
+    /// cluster grows.
+    #[test]
+    fn ring_growth_is_monotone(servers in 2usize..12, keys in prop::collection::vec(any::<u64>(), 50)) {
+        let before = HashRing::new(servers, 64);
+        let after = HashRing::new(servers + 1, 64);
+        for k in keys {
+            let (b, a) = (before.primary(k), after.primary(k));
+            if b != a {
+                prop_assert_eq!(a, servers, "key {} moved to an old server", k);
+            }
+        }
+    }
+
+    /// Unit-mean families really have unit mean, and samples are positive
+    /// and finite.
+    #[test]
+    fn unit_mean_families_normalized(seed in any::<u64>(), shape_sel in 0usize..4) {
+        let dist: Box<dyn Distribution> = match shape_sel {
+            0 => Box::new(Pareto::unit_mean(2.0 + (seed % 50) as f64 / 10.0)),
+            1 => Box::new(Weibull::unit_mean(0.3 + (seed % 40) as f64 / 10.0)),
+            2 => Box::new(TwoPoint::new((seed % 99) as f64 / 100.0)),
+            _ => Box::new(LogNormal::unit_mean((seed % 20) as f64 / 10.0)),
+        };
+        prop_assert!((dist.mean() - 1.0).abs() < 1e-6, "{} mean {}", dist.label(), dist.mean());
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..200 {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    /// Alias-method sampling only produces support values.
+    #[test]
+    fn alias_samples_in_support(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let pairs: Vec<(f64, f64)> = weights.iter().enumerate().map(|(i, &w)| (i as f64, w)).collect();
+        let d = DiscreteEmpirical::new(&pairs);
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            let idx = x as usize;
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight value {}", x);
+        }
+    }
+
+    /// Quantiles are monotone and bounded by min/max.
+    #[test]
+    fn quantiles_monotone(xs in prop::collection::vec(-1.0e6f64..1.0e6, 2..400)) {
+        let mut s: SampleSet = xs.iter().copied().collect();
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let vals: Vec<f64> = qs.iter().map(|&q| s.quantile(q)).collect();
+        for w in vals.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((vals[0] - lo).abs() < 1e-9 && (vals[5] - hi).abs() < 1e-9);
+    }
+
+    /// Fat-tree routing reaches every destination from every node along
+    /// every ECMP candidate, within the structural 6-hop bound.
+    #[test]
+    fn fat_tree_all_candidates_reach(k in prop::sample::select(vec![2usize, 4, 6]), src_sel in any::<u32>(), dst_sel in any::<u32>()) {
+        let t = FatTree::new(k);
+        let hosts = t.hosts() as u32;
+        let src = src_sel % hosts;
+        let dst = dst_sel % hosts;
+        prop_assume!(src != dst);
+        fn reaches(t: &FatTree, at: u32, dst: u32, depth: usize) -> bool {
+            if at == dst { return true; }
+            if depth == 0 { return false; }
+            t.candidates(at, dst).iter().all(|&l| reaches(t, t.link(l).to, dst, depth - 1))
+        }
+        prop_assert!(reaches(&t, src, dst, 6));
+    }
+
+    /// TCP delivers every packet exactly once to the application under an
+    /// arbitrary (finite) loss pattern with a lossless retransmission
+    /// fallback: the transfer always completes and the receiver's
+    /// cumulative counter equals the flow length.
+    #[test]
+    fn tcp_completes_under_random_loss(
+        total in 1u32..60,
+        loss_pattern in prop::collection::vec(prop::bool::ANY, 0..40),
+    ) {
+        let mut s = TcpSender::new(total, TcpConfig::default());
+        let mut r = TcpReceiver::new(total);
+        let mut now = 0.0f64;
+        let mut wire = s.on_start(now).send;
+        let mut drops = loss_pattern.into_iter();
+        let mut completed = false;
+        let mut guard = 0;
+        while !completed && guard < 10_000 {
+            guard += 1;
+            now += 1e-4;
+            let mut acks = Vec::new();
+            for seq in wire.drain(..) {
+                if drops.next() == Some(true) {
+                    continue; // lost
+                }
+                if let Some(c) = r.on_data(seq, false) {
+                    acks.push(c);
+                }
+            }
+            let mut next = Vec::new();
+            for c in acks {
+                let a = s.on_ack(now, c);
+                completed |= a.completed;
+                next.extend(a.send);
+            }
+            if next.is_empty() && !completed {
+                now += s.rto();
+                let a = s.on_timeout(now, s.timer_epoch);
+                next.extend(a.send);
+            }
+            wire = next;
+        }
+        prop_assert!(completed, "transfer stalled");
+        prop_assert_eq!(r.cum(), total);
+    }
+}
+
+/// Deterministic cross-crate check (not a proptest): racing thread
+/// replicas through the real library returns the known-fastest one.
+#[test]
+fn library_race_end_to_end() {
+    use low_latency_redundancy::redundancy::prelude::*;
+    use std::time::Duration;
+    let out = race(vec![
+        replica(|_t: &CancelToken| {
+            std::thread::sleep(Duration::from_millis(30));
+            "slow"
+        }),
+        replica(|_t: &CancelToken| {
+            std::thread::sleep(Duration::from_millis(2));
+            "fast"
+        }),
+    ])
+    .unwrap();
+    assert_eq!(out.value, "fast");
+}
