@@ -59,7 +59,7 @@ fn mean_vs_load_figure<D: simcore::dist::Distribution + Clone>(
     let mut r = Report::new(title, "Figure 1");
     let loads: Vec<f64> = (1..=19).map(|i| i as f64 * 0.025).collect();
     let requests = effort.scale(400_000, 50_000);
-    let pts = sweeps::mean_vs_load(dist, &loads, requests, 0x516_1A);
+    let pts = sweeps::mean_vs_load(dist, &loads, requests, 0x5161A);
     r.header(&["load", "mean_1copy_s", "mean_2copies_s", "p999_1copy_s", "p999_2copies_s"]);
     for p in pts {
         r.row(&[
@@ -80,7 +80,7 @@ pub fn fig1c(effort: Effort) -> String {
         "Figure 1(c)",
     );
     let requests = effort.scale(3_000_000, 150_000);
-    let (single, double) = sweeps::ccdf_at_load(&Pareto::unit_mean(2.1), 0.2, requests, 60, 0x516_1C);
+    let (single, double) = sweeps::ccdf_at_load(&Pareto::unit_mean(2.1), 0.2, requests, 60, 0x5161C);
     r.ccdf("1 copy", &single);
     r.ccdf("2 copies", &double);
     r.finish()

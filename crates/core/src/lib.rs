@@ -9,11 +9,13 @@
 //!
 //! * **Executors** — [`sync_exec`] races closures on threads (one per
 //!   copy, losers cancelled cooperatively via [`cancel::CancelToken`]);
-//!   with the `tokio-exec` feature, [`tokio_exec`] races futures on the
-//!   tokio runtime (`select!`-style: first completion wins, siblings are
-//!   aborted). Both also provide *hedged* variants — the Dean & Barroso
-//!   refinement where the second copy is sent only after a delay, paying
-//!   the duplication cost only in the slow tail.
+//!   with the `tokio-exec` feature, `tokio_exec` races futures
+//!   (`select!`-style: first completion wins, siblings are dropped). The
+//!   async executors are runtime-agnostic plain futures — they run on any
+//!   executor, tokio included, and ship a built-in `block_on` for callers
+//!   without one. Both layers also provide *hedged* variants — the Dean &
+//!   Barroso refinement where the second copy is sent only after a delay,
+//!   paying the duplication cost only in the slow tail.
 //! * **Policies** — [`policy::Policy`] captures the paper's design space:
 //!   `Always(k)` replication vs `Hedged { copies, after }`.
 //! * **Planner** — [`planner`] answers the paper's central question

@@ -7,7 +7,7 @@
 //! no-cancellation model and Dean & Barroso's tied requests.
 
 use crate::cancel::CancelToken;
-use crossbeam::channel;
+use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -48,7 +48,7 @@ pub fn race<T: Send + 'static>(ops: Vec<Replica<T>>) -> Option<RaceOutcome<T>> {
     let start = Instant::now();
     let token = CancelToken::new();
     let n = ops.len();
-    let (tx, rx) = channel::bounded::<(usize, T)>(n);
+    let (tx, rx) = mpsc::sync_channel::<(usize, T)>(n);
     for (i, op) in ops.into_iter().enumerate() {
         let tx = tx.clone();
         let token = token.clone();
@@ -79,7 +79,7 @@ pub fn hedged<T: Send + 'static>(ops: Vec<Replica<T>>, delay: Duration) -> Optio
     }
     let start = Instant::now();
     let token = CancelToken::new();
-    let (tx, rx) = channel::unbounded::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
     let mut launched = 0usize;
     let mut pending = ops.into_iter().enumerate();
 
@@ -111,7 +111,7 @@ pub fn hedged<T: Send + 'static>(ops: Vec<Replica<T>>, delay: Duration) -> Optio
                     launched,
                 });
             }
-            Err(channel::RecvTimeoutError::Timeout) => {
+            Err(mpsc::RecvTimeoutError::Timeout) => {
                 // Silence: release the next hedge (if any remain, else keep
                 // waiting for whatever is in flight).
                 if !launch_next(&mut launched) {
@@ -129,7 +129,7 @@ pub fn hedged<T: Send + 'static>(ops: Vec<Replica<T>>, delay: Duration) -> Optio
                     }
                 }
             }
-            Err(channel::RecvTimeoutError::Disconnected) => return None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return None,
         }
     }
 }
@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn losers_observe_cancellation() {
-        let (done_tx, done_rx) = channel::bounded(1);
+        let (done_tx, done_rx) = mpsc::sync_channel(1);
         let out = race(vec![
             replica(move |t: &CancelToken| {
                 // Poll until cancelled, then report how we exited.

@@ -59,7 +59,7 @@ pub struct FatTree {
 impl FatTree {
     /// Builds a k-ary fat-tree (`k` even, ≥ 2).
     pub fn new(k: usize) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree needs even k >= 2");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree needs even k >= 2");
         let half = k / 2;
         let hosts = k * half * half; // k pods * k/2 edges * k/2 hosts
         let edges = k * half;
@@ -257,11 +257,11 @@ mod tests {
         for l in 0..t.links() {
             egress[t.link(l as LinkId).from as usize] += 1;
         }
-        for n in t.hosts()..t.hosts() + t.switches() {
-            assert_eq!(egress[n], 6, "switch {n} has {} ports", egress[n]);
+        for (n, &e) in egress.iter().enumerate().skip(t.hosts()) {
+            assert_eq!(e, 6, "switch {n} has {e} ports");
         }
-        for n in 0..t.hosts() {
-            assert_eq!(egress[n], 1, "host {n} must have exactly one uplink");
+        for (n, &e) in egress.iter().enumerate().take(t.hosts()) {
+            assert_eq!(e, 1, "host {n} must have exactly one uplink");
         }
     }
 

@@ -126,7 +126,7 @@ pub fn random_distributions(
     alpha: f64,
     opts: &ThresholdOptions,
 ) -> Vec<RandomDistRow> {
-    let mut rng = Rng::seed_from(opts.seed ^ 0xF16_3);
+    let mut rng = Rng::seed_from(opts.seed ^ 0xF163);
     supports
         .iter()
         .map(|&n| {

@@ -13,6 +13,8 @@
 /// Panics for non-positive integers (poles of Γ).
 pub fn ln_gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
+    // Published Lanczos coefficients, kept digit-for-digit.
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -185,8 +187,8 @@ mod tests {
     #[test]
     fn incomplete_gamma_shape_one_is_exponential() {
         // Gamma(1, 1) is Exp(1): P(1, x) = 1 - e^{-x}.
-        for &x in &[0.0, 0.1, 1.0, 3.0, 10.0, 40.0] {
-            let expect = 1.0 - (-x as f64).exp();
+        for &x in &[0.0f64, 0.1, 1.0, 3.0, 10.0, 40.0] {
+            let expect = 1.0 - (-x).exp();
             assert!(
                 (gamma_p(1.0, x) - expect).abs() < 1e-12,
                 "P(1,{x}) = {}",

@@ -58,7 +58,7 @@ fn main() {
     println!("\nand a heavy-tailed workload for contrast (H2, scv 8):");
     let heavy = HyperExponential::unit_mean_with_scv(8.0);
     for load in [0.25, 0.40] {
-        let base = Config::new(heavy.clone(), load).with_requests(120_000, 12_000);
+        let base = Config::new(heavy, load).with_requests(120_000, 12_000);
         let single = run(&base.clone().with_copies(1), 9).moments.mean();
         let double = run(&base.with_copies(2), 9).moments.mean();
         println!(

@@ -1,4 +1,4 @@
-//! Property-based tests over the substrate invariants (proptest).
+//! Property-based tests over the substrate invariants.
 //!
 //! Each property here is one the simulators rely on for *correctness of
 //! the reproduction*, not just code health: event ordering is what makes
@@ -6,6 +6,10 @@
 //! ratio meaningful; ring monotonicity is what the paper's n/n+1 placement
 //! assumes; distribution normalization is what puts every Figure 2 family
 //! on the same unit-mean axis.
+//!
+//! Cases are generated from the workspace's own deterministic
+//! [`Rng`](low_latency_redundancy::simcore::rng::Rng) at fixed seeds (no
+//! external property-testing dependency), so failures replay exactly.
 
 use low_latency_redundancy::netsim::tcp::{TcpConfig, TcpReceiver, TcpSender};
 use low_latency_redundancy::netsim::topology::FatTree;
@@ -18,12 +22,14 @@ use low_latency_redundancy::simcore::stats::SampleSet;
 use low_latency_redundancy::simcore::time::SimTime;
 use low_latency_redundancy::storesim::hashring::HashRing;
 use low_latency_redundancy::storesim::lru::LruCache;
-use proptest::prelude::*;
 
-proptest! {
-    /// Events pop sorted by time; ties pop in insertion order.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u32..1000, 1..200)) {
+/// Events pop sorted by time; ties pop in insertion order.
+#[test]
+fn event_queue_total_order() {
+    let mut rng = Rng::seed_from(0xE7E27);
+    for _case in 0..200 {
+        let n = 1 + rng.index(200);
+        let times: Vec<u32> = (0..n).map(|_| rng.u64_below(1000) as u32).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_secs(t as f64), i);
@@ -32,25 +38,30 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t.as_secs(), i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
             }
         }
     }
+}
 
-    /// LRU behaves exactly like a reference model (vector of (key,size),
-    /// most recent first, capacity-bounded).
-    #[test]
-    fn lru_matches_reference_model(
-        ops in prop::collection::vec((0u64..20, 1u64..40, prop::bool::ANY), 1..300),
-        cap in 50u64..200,
-    ) {
+/// LRU behaves exactly like a reference model (vector of (key,size),
+/// most recent first, capacity-bounded).
+#[test]
+fn lru_matches_reference_model() {
+    let mut rng = Rng::seed_from(0x14B);
+    for _case in 0..60 {
+        let cap = 50 + rng.u64_below(150);
+        let ops = 1 + rng.index(300);
         let mut lru = LruCache::new(cap);
         let mut model: Vec<(u64, u64)> = Vec::new(); // MRU-first
-        for (key, size, is_insert) in ops {
+        for _ in 0..ops {
+            let key = rng.u64_below(20);
+            let size = 1 + rng.u64_below(39);
+            let is_insert = rng.chance(0.5);
             if is_insert && size <= cap {
                 lru.insert(key, size);
                 model.retain(|&(k, _)| k != key);
@@ -63,7 +74,7 @@ proptest! {
             } else if !is_insert {
                 let hit = lru.access(key);
                 let model_hit = model.iter().any(|&(k, _)| k == key);
-                prop_assert_eq!(hit, model_hit, "hit/miss diverged for {}", key);
+                assert_eq!(hit, model_hit, "hit/miss diverged for {key}");
                 if model_hit {
                     let pos = model.iter().position(|&(k, _)| k == key).unwrap();
                     let entry = model.remove(pos);
@@ -71,98 +82,144 @@ proptest! {
                 }
             }
             let used: u64 = model.iter().map(|&(_, s)| s).sum();
-            prop_assert_eq!(lru.used_bytes(), used);
-            prop_assert_eq!(lru.len(), model.len());
+            assert_eq!(lru.used_bytes(), used);
+            assert_eq!(lru.len(), model.len());
         }
     }
+}
 
-    /// Consistent hashing: keys only move *to the new server* when the
-    /// cluster grows.
-    #[test]
-    fn ring_growth_is_monotone(servers in 2usize..12, keys in prop::collection::vec(any::<u64>(), 50)) {
+/// Consistent hashing: keys only move *to the new server* when the
+/// cluster grows.
+#[test]
+fn ring_growth_is_monotone() {
+    let mut rng = Rng::seed_from(0x21A6);
+    for servers in 2usize..12 {
         let before = HashRing::new(servers, 64);
         let after = HashRing::new(servers + 1, 64);
-        for k in keys {
+        for _ in 0..50 {
+            let k = rng.next_u64();
             let (b, a) = (before.primary(k), after.primary(k));
             if b != a {
-                prop_assert_eq!(a, servers, "key {} moved to an old server", k);
+                assert_eq!(a, servers, "key {k} moved to an old server");
             }
         }
     }
+}
 
-    /// Unit-mean families really have unit mean, and samples are positive
-    /// and finite.
-    #[test]
-    fn unit_mean_families_normalized(seed in any::<u64>(), shape_sel in 0usize..4) {
-        let dist: Box<dyn Distribution> = match shape_sel {
+/// Unit-mean families really have unit mean, and samples are positive
+/// and finite.
+#[test]
+fn unit_mean_families_normalized() {
+    let mut rng = Rng::seed_from(0xD15F);
+    for case in 0..120 {
+        let seed = rng.next_u64();
+        let dist: Box<dyn Distribution> = match case % 4 {
             0 => Box::new(Pareto::unit_mean(2.0 + (seed % 50) as f64 / 10.0)),
             1 => Box::new(Weibull::unit_mean(0.3 + (seed % 40) as f64 / 10.0)),
             2 => Box::new(TwoPoint::new((seed % 99) as f64 / 100.0)),
             _ => Box::new(LogNormal::unit_mean((seed % 20) as f64 / 10.0)),
         };
-        prop_assert!((dist.mean() - 1.0).abs() < 1e-6, "{} mean {}", dist.label(), dist.mean());
-        let mut rng = Rng::seed_from(seed);
+        assert!(
+            (dist.mean() - 1.0).abs() < 1e-6,
+            "{} mean {}",
+            dist.label(),
+            dist.mean()
+        );
+        let mut sample_rng = Rng::seed_from(seed);
         for _ in 0..200 {
-            let x = dist.sample(&mut rng);
-            prop_assert!(x > 0.0 && x.is_finite());
+            let x = dist.sample(&mut sample_rng);
+            assert!(x > 0.0 && x.is_finite(), "{}: sample {x}", dist.label());
         }
     }
+}
 
-    /// Alias-method sampling only produces support values.
-    #[test]
-    fn alias_samples_in_support(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in any::<u64>()) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
-        let pairs: Vec<(f64, f64)> = weights.iter().enumerate().map(|(i, &w)| (i as f64, w)).collect();
+/// Alias-method sampling only produces support values with positive weight.
+#[test]
+fn alias_samples_in_support() {
+    let mut rng = Rng::seed_from(0xA11A5);
+    for _case in 0..100 {
+        let n = 1 + rng.index(19);
+        let weights: Vec<f64> = (0..n).map(|_| rng.f64() * 10.0).collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
+        let pairs: Vec<(f64, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as f64, w))
+            .collect();
         let d = DiscreteEmpirical::new(&pairs);
-        let mut rng = Rng::seed_from(seed);
+        let mut sample_rng = Rng::seed_from(rng.next_u64());
         for _ in 0..200 {
-            let x = d.sample(&mut rng);
+            let x = d.sample(&mut sample_rng);
             let idx = x as usize;
-            prop_assert!(idx < weights.len());
-            prop_assert!(weights[idx] > 0.0, "sampled zero-weight value {}", x);
+            assert!(idx < weights.len());
+            assert!(weights[idx] > 0.0, "sampled zero-weight value {x}");
         }
     }
+}
 
-    /// Quantiles are monotone and bounded by min/max.
-    #[test]
-    fn quantiles_monotone(xs in prop::collection::vec(-1.0e6f64..1.0e6, 2..400)) {
+/// Quantiles are monotone and bounded by min/max.
+#[test]
+fn quantiles_monotone() {
+    let mut rng = Rng::seed_from(0x0A77);
+    for _case in 0..100 {
+        let n = 2 + rng.index(398);
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64_range(-1.0e6, 1.0e6)).collect();
         let mut s: SampleSet = xs.iter().copied().collect();
         let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
         let vals: Vec<f64> = qs.iter().map(|&q| s.quantile(q)).collect();
         for w in vals.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-9);
+            assert!(w[0] <= w[1] + 1e-9);
         }
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!((vals[0] - lo).abs() < 1e-9 && (vals[5] - hi).abs() < 1e-9);
+        assert!((vals[0] - lo).abs() < 1e-9 && (vals[5] - hi).abs() < 1e-9);
     }
+}
 
-    /// Fat-tree routing reaches every destination from every node along
-    /// every ECMP candidate, within the structural 6-hop bound.
-    #[test]
-    fn fat_tree_all_candidates_reach(k in prop::sample::select(vec![2usize, 4, 6]), src_sel in any::<u32>(), dst_sel in any::<u32>()) {
+/// Fat-tree routing reaches every destination from every node along
+/// every ECMP candidate, within the structural 6-hop bound.
+#[test]
+fn fat_tree_all_candidates_reach() {
+    fn reaches(t: &FatTree, at: u32, dst: u32, depth: usize) -> bool {
+        if at == dst {
+            return true;
+        }
+        if depth == 0 {
+            return false;
+        }
+        t.candidates(at, dst)
+            .iter()
+            .all(|&l| reaches(t, t.link(l).to, dst, depth - 1))
+    }
+    let mut rng = Rng::seed_from(0xFA7);
+    for &k in &[2usize, 4, 6] {
         let t = FatTree::new(k);
         let hosts = t.hosts() as u32;
-        let src = src_sel % hosts;
-        let dst = dst_sel % hosts;
-        prop_assume!(src != dst);
-        fn reaches(t: &FatTree, at: u32, dst: u32, depth: usize) -> bool {
-            if at == dst { return true; }
-            if depth == 0 { return false; }
-            t.candidates(at, dst).iter().all(|&l| reaches(t, t.link(l).to, dst, depth - 1))
+        for _ in 0..40 {
+            let src = rng.u64_below(hosts as u64) as u32;
+            let dst = rng.u64_below(hosts as u64) as u32;
+            if src == dst {
+                continue;
+            }
+            assert!(reaches(&t, src, dst, 6), "k={k} src={src} dst={dst}");
         }
-        prop_assert!(reaches(&t, src, dst, 6));
     }
+}
 
-    /// TCP delivers every packet exactly once to the application under an
-    /// arbitrary (finite) loss pattern with a lossless retransmission
-    /// fallback: the transfer always completes and the receiver's
-    /// cumulative counter equals the flow length.
-    #[test]
-    fn tcp_completes_under_random_loss(
-        total in 1u32..60,
-        loss_pattern in prop::collection::vec(prop::bool::ANY, 0..40),
-    ) {
+/// TCP delivers every packet exactly once to the application under an
+/// arbitrary (finite) loss pattern with a lossless retransmission
+/// fallback: the transfer always completes and the receiver's
+/// cumulative counter equals the flow length.
+#[test]
+fn tcp_completes_under_random_loss() {
+    let mut rng = Rng::seed_from(0x7C9);
+    for _case in 0..80 {
+        let total = 1 + rng.u64_below(59) as u32;
+        let loss_len = rng.index(41);
+        let loss_pattern: Vec<bool> = (0..loss_len).map(|_| rng.chance(0.5)).collect();
+
         let mut s = TcpSender::new(total, TcpConfig::default());
         let mut r = TcpReceiver::new(total);
         let mut now = 0.0f64;
@@ -195,13 +252,37 @@ proptest! {
             }
             wire = next;
         }
-        prop_assert!(completed, "transfer stalled");
-        prop_assert_eq!(r.cum(), total);
+        assert!(completed, "transfer stalled (total={total})");
+        assert_eq!(r.cum(), total);
     }
 }
 
-/// Deterministic cross-crate check (not a proptest): racing thread
-/// replicas through the real library returns the known-fastest one.
+/// Distribution sampling is bit-reproducible: the same seed produces a
+/// byte-identical stream through the facade, twice.
+#[test]
+fn sampling_is_deterministic_across_runs() {
+    let dists: Vec<Box<dyn Distribution>> = vec![
+        Box::new(Pareto::unit_mean(2.1)),
+        Box::new(Weibull::unit_mean(0.5)),
+        Box::new(LogNormal::unit_mean(1.0)),
+        Box::new(TwoPoint::new(0.5)),
+    ];
+    for d in &dists {
+        let mut a = Rng::seed_from(0xB17);
+        let mut b = Rng::seed_from(0xB17);
+        for _ in 0..1_000 {
+            assert_eq!(
+                d.sample(&mut a).to_bits(),
+                d.sample(&mut b).to_bits(),
+                "{} diverged",
+                d.label()
+            );
+        }
+    }
+}
+
+/// Deterministic cross-crate check: racing thread replicas through the
+/// real library returns the known-fastest one.
 #[test]
 fn library_race_end_to_end() {
     use low_latency_redundancy::redundancy::prelude::*;
