@@ -21,6 +21,7 @@ use netsim::experiments::{run_pair, NetConfig};
 use queuesim::analytic::mm1;
 use queuesim::model::{run as run_queue, Config};
 use simcore::dist::Exponential;
+use simcore::runner::Runner;
 use wansim::dns::{DnsExperiment, DnsPopulation};
 use wansim::dns_caching::{run_warming, WarmingConfig};
 use wansim::handshake::HandshakeModel;
@@ -59,11 +60,20 @@ fn cancellation(effort: Effort) -> String {
         "mean_2copies_tied",
         "tied_utilization",
     ]);
-    for load in [0.1, 0.2, 0.3, 0.4, 0.45] {
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.45];
+    // One task per (load, variant) triple, parallel on the global runner.
+    let results = Runner::global().run(loads.len() * 3, |task| {
+        let load = loads[task / 3];
         let base = Config::new(Exponential::unit(), load).with_requests(requests, requests / 10);
-        let single = run_queue(&base.clone().with_copies(1), 77);
-        let plain = run_queue(&base.clone().with_copies(2), 77);
-        let tied = run_queue(&base.with_copies(2).with_cancellation(true), 77);
+        let cfg = match task % 3 {
+            0 => base.with_copies(1),
+            1 => base.with_copies(2),
+            _ => base.with_copies(2).with_cancellation(true),
+        };
+        run_queue(&cfg, 77)
+    });
+    for (i, &load) in loads.iter().enumerate() {
+        let (single, plain, tied) = (&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]);
         r.row(&[
             num(load),
             num(single.moments.mean()),
@@ -83,15 +93,18 @@ fn copies(effort: Effort) -> String {
     );
     let requests = effort.scale(200_000, 40_000);
     r.header(&["k", "threshold_theory_1_over_k_plus_1", "mean_at_10pct_load_sim"]);
-    for k in 2..=6u32 {
+    let ks: Vec<u32> = (2..=6).collect();
+    let outs = Runner::global().map(&ks, |_i, &k| {
         let cfg = Config::new(Exponential::unit(), 0.10)
             .with_copies(k as usize)
             .with_servers(30)
             .with_requests(requests, requests / 10);
-        let out = run_queue(&cfg, 5);
+        run_queue(&cfg, 5)
+    });
+    for (k, out) in ks.iter().zip(&outs) {
         r.row(&[
             k.to_string(),
-            num(mm1::threshold(k)),
+            num(mm1::threshold(*k)),
             num(out.moments.mean()),
         ]);
     }
@@ -107,20 +120,23 @@ fn depth(effort: Effort) -> String {
     );
     let flows = effort.scale(20_000, 4_000);
     r.header(&["replicate_first_J", "improvement_pct_at_load_0.4"]);
-    for depth in [1u32, 2, 4, 8, 16, 64, 10_000] {
+    let depths = [1u32, 2, 4, 8, 16, 64, 10_000];
+    let improvements = Runner::global().map(&depths, |_i, &depth| {
         let cfg = NetConfig {
             load: 0.4,
             flows,
             replicate_first: depth,
             ..NetConfig::default()
         };
-        let mut pair = run_pair(&cfg, 9);
+        run_pair(&cfg, 9).median_improvement_pct()
+    });
+    for (&depth, &imp) in depths.iter().zip(&improvements) {
         let label = if depth == 10_000 {
             "everything".to_string()
         } else {
             depth.to_string()
         };
-        r.row(&[label, pct(pair.median_improvement_pct())]);
+        r.row(&[label, pct(imp)]);
     }
     r.note("diminishing returns past the first handful of packets: short flows");
     r.note("are covered, and extra replicas only queue against each other");

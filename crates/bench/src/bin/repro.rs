@@ -1,13 +1,15 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <id>... [--quick] [--out DIR]    run specific experiments
-//! repro all     [--quick] [--out DIR]    run everything, paper order
-//! repro list                             show available ids
+//! repro <id>... [--quick] [--threads N] [--out DIR]    run specific experiments
+//! repro all     [--quick] [--threads N] [--out DIR]    run everything, paper order
+//! repro list                                           show available ids
 //! ```
 //!
 //! Output goes to stdout; with `--out DIR` each experiment is also written
-//! to `DIR/<id>.txt`.
+//! to `DIR/<id>.txt`. `--threads N` sets the parallelism of every sweep
+//! (default: the machine's available parallelism, or the `LLR_THREADS`
+//! environment variable); results are bit-identical at any thread count.
 
 use repro_bench::{run_experiment, Effort, ABLATION_IDS, ALL_IDS};
 use std::io::Write;
@@ -27,6 +29,13 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => simcore::runner::set_global_threads(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(dir) => out_dir = Some(dir),
                 None => {
@@ -68,6 +77,8 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
 
+    let threads = simcore::runner::global_threads();
+    let t_all = Instant::now();
     for id in &ids {
         let t0 = Instant::now();
         let report = run_experiment(id, effort);
@@ -79,10 +90,18 @@ fn main() {
             f.write_all(report.as_bytes()).expect("write output file");
         }
     }
+    if ids.len() > 1 {
+        eprintln!(
+            "[total] {} experiments in {:.1?} on {} thread(s)",
+            ids.len(),
+            t_all.elapsed(),
+            threads
+        );
+    }
 }
 
 fn usage() {
-    eprintln!("usage: repro <id>...|all|ablations|list [--quick] [--out DIR]");
+    eprintln!("usage: repro <id>...|all|ablations|list [--quick] [--threads N] [--out DIR]");
     eprintln!("figures:   {}", ALL_IDS.join(" "));
     eprintln!("ablations: {} heavytail", ABLATION_IDS.join(" "));
 }

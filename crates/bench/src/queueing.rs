@@ -5,7 +5,8 @@ use crate::Effort;
 use queuesim::analytic::{heavy_tail, mm1, two_moment};
 use queuesim::sweeps;
 use queuesim::threshold::{threshold_load, ThresholdOptions};
-use simcore::dist::{Deterministic, Exponential, Pareto};
+use simcore::dist::{Deterministic, Distribution, Exponential, Pareto};
+use simcore::runner::Runner;
 
 fn opts(effort: Effort) -> ThresholdOptions {
     match effort {
@@ -199,20 +200,17 @@ pub fn fig4(effort: Effort) -> String {
     };
     r.header(&["overhead_frac_of_mean_service", "distribution", "threshold_load"]);
     let o = opts(effort);
-    for (label, rows) in [
-        (
-            "pareto(2.1)",
-            sweeps::overhead_sweep(&Pareto::unit_mean(2.1), &overheads, &o),
-        ),
-        (
-            "exponential",
-            sweeps::overhead_sweep(&Exponential::unit(), &overheads, &o),
-        ),
-        (
-            "deterministic",
-            sweeps::overhead_sweep(&Deterministic::unit(), &overheads, &o),
-        ),
-    ] {
+    // The three service laws sweep in parallel (each sweep is itself
+    // parallel over overhead points).
+    let dists: Vec<(&str, Box<dyn Distribution>)> = vec![
+        ("pareto(2.1)", Box::new(Pareto::unit_mean(2.1))),
+        ("exponential", Box::new(Exponential::unit())),
+        ("deterministic", Box::new(Deterministic::unit())),
+    ];
+    let series = Runner::global().map(&dists, |_i, (label, d)| {
+        (*label, sweeps::overhead_sweep(&d.as_ref(), &overheads, &o))
+    });
+    for (label, rows) in series {
         for (frac, t) in rows {
             r.row(&[num(frac), label.into(), num(t)]);
         }

@@ -2,6 +2,7 @@
 
 use crate::util::{ms, num, pct, Report};
 use crate::Effort;
+use simcore::runner::Runner;
 use wansim::costbench::{incremental_rates, savings_ms_per_kb, BREAK_EVEN_MS_PER_KB};
 use wansim::dns::{reduction_table, DnsExperiment, DnsPopulation, BYTES_PER_COPY};
 use wansim::handshake::HandshakeModel;
@@ -14,8 +15,11 @@ pub fn tcp_handshake(effort: Effort) -> String {
     );
     let n = effort.scale(2_000_000, 200_000);
     let m = HandshakeModel::default();
-    let single = m.evaluate(false, n, 0x7C9);
-    let dup = m.evaluate(true, n, 0x7C9);
+    // The paired single/duplicated evaluations run in parallel.
+    let (single, dup) = Runner::global().pair(
+        || m.evaluate(false, n, 0x7C9),
+        || m.evaluate(true, n, 0x7C9),
+    );
     r.header(&["metric", "single", "duplicated"]);
     r.row(&[
         "expected completion (ms)".into(),

@@ -15,6 +15,7 @@
 
 use crate::sim::{run, FctStats, SimConfig};
 use crate::tcp::TcpConfig;
+use simcore::runner::Runner;
 use simcore::stats::Ccdf;
 
 /// User-facing knobs for one Figure 14 data point.
@@ -98,11 +99,16 @@ impl PairOutput {
     }
 }
 
-/// Runs the baseline and the replicated fabric on identical flows.
+/// Runs the baseline and the replicated fabric on identical flows. The two
+/// packet-level runs execute in parallel on the global [`Runner`].
 pub fn run_pair(cfg: &NetConfig, seed: u64) -> PairOutput {
+    let (baseline, replicated) = Runner::global().pair(
+        || run(&cfg.to_sim(false, seed)),
+        || run(&cfg.to_sim(true, seed)),
+    );
     PairOutput {
-        baseline: run(&cfg.to_sim(false, seed)),
-        replicated: run(&cfg.to_sim(true, seed)),
+        baseline,
+        replicated,
     }
 }
 
@@ -121,29 +127,35 @@ pub struct Fig14aRow {
     pub improvement_pct: f64,
 }
 
-/// Sweeps Fig 14(a): all three combos across `loads`.
+/// Sweeps Fig 14(a): all three combos across `loads`. All
+/// `combos × loads × {baseline, replicated}` packet-level runs execute in
+/// parallel, with per-task configuration derived from the task index, so
+/// rows are bit-identical at any thread count.
 pub fn fig14a(loads: &[f64], flows: usize, seed: u64) -> Vec<Fig14aRow> {
-    let mut rows = Vec::new();
-    for (combo, rate, delay) in NetConfig::paper_combos() {
-        for &load in loads {
-            let cfg = NetConfig {
-                link_rate_bytes_per_sec: rate,
-                per_hop_delay: delay,
-                load,
-                flows,
-                ..NetConfig::default()
-            };
-            let mut pair = run_pair(&cfg, seed);
-            rows.push(Fig14aRow {
-                combo,
-                load,
-                median_baseline: pair.baseline.small_median(),
-                median_replicated: pair.replicated.small_median(),
-                improvement_pct: pair.median_improvement_pct(),
-            });
+    let combos = NetConfig::paper_combos();
+    let points: Vec<(&'static str, f64, f64, f64)> = combos
+        .iter()
+        .flat_map(|&(combo, rate, delay)| {
+            loads.iter().map(move |&load| (combo, rate, delay, load))
+        })
+        .collect();
+    Runner::global().map(&points, |_i, &(combo, rate, delay, load)| {
+        let cfg = NetConfig {
+            link_rate_bytes_per_sec: rate,
+            per_hop_delay: delay,
+            load,
+            flows,
+            ..NetConfig::default()
+        };
+        let mut pair = run_pair(&cfg, seed);
+        Fig14aRow {
+            combo,
+            load,
+            median_baseline: pair.baseline.small_median(),
+            median_replicated: pair.replicated.small_median(),
+            improvement_pct: pair.median_improvement_pct(),
         }
-    }
-    rows
+    })
 }
 
 /// One Fig 14(b) row: 99th-percentile small-flow FCT.
@@ -160,25 +172,23 @@ pub struct Fig14bRow {
     pub timeouts: (u64, u64),
 }
 
-/// Sweeps Fig 14(b) on the 5 Gbps / 2 µs fabric.
+/// Sweeps Fig 14(b) on the 5 Gbps / 2 µs fabric. Load points run in
+/// parallel on the global [`Runner`].
 pub fn fig14b(loads: &[f64], flows: usize, seed: u64) -> Vec<Fig14bRow> {
-    loads
-        .iter()
-        .map(|&load| {
-            let cfg = NetConfig {
-                load,
-                flows,
-                ..NetConfig::default()
-            };
-            let mut pair = run_pair(&cfg, seed);
-            Fig14bRow {
-                load,
-                p99_baseline: pair.baseline.small_p99(),
-                p99_replicated: pair.replicated.small_p99(),
-                timeouts: (pair.baseline.timeouts, pair.replicated.timeouts),
-            }
-        })
-        .collect()
+    Runner::global().map(loads, |_i, &load| {
+        let cfg = NetConfig {
+            load,
+            flows,
+            ..NetConfig::default()
+        };
+        let mut pair = run_pair(&cfg, seed);
+        Fig14bRow {
+            load,
+            p99_baseline: pair.baseline.small_p99(),
+            p99_replicated: pair.replicated.small_p99(),
+            timeouts: (pair.baseline.timeouts, pair.replicated.timeouts),
+        }
+    })
 }
 
 /// Fig 14(c): small-flow FCT CCDFs at one load (baseline, replicated).

@@ -2,12 +2,17 @@
 //!
 //! Each function returns plain data series (no I/O); the `repro-bench`
 //! harness formats them into the same rows the paper plots. Everything is
-//! deterministic given the options' seed.
+//! deterministic given the options' seed — including under parallelism:
+//! every sweep runs its points on a [`Runner`] (the `*_on` variants take
+//! an explicit one; the plain versions use [`Runner::global`]), with
+//! per-point randomness derived from the point's index, so results are
+//! bit-identical at any thread count.
 
 use crate::model::{run, Config, RunResult};
-use crate::threshold::{threshold_load, ThresholdOptions};
+use crate::threshold::{threshold_load_on, ThresholdOptions};
 use simcore::dist::{Distribution, Pareto, TwoPoint, Weibull};
 use simcore::rng::Rng;
+use simcore::runner::Runner;
 use simcore::simplex::random_unit_mean_discrete;
 use simcore::stats::Ccdf;
 
@@ -33,24 +38,34 @@ pub fn mean_vs_load<D: Distribution + Clone>(
     requests: usize,
     seed: u64,
 ) -> Vec<LoadPoint> {
-    loads
-        .iter()
-        .map(|&rho| {
-            let base = Config::new(dist.clone(), rho).with_requests(requests, requests / 10);
-            let mut single = run(&base.clone().with_copies(1), seed);
-            let mut double = run(&base.with_copies(2), seed);
-            LoadPoint {
-                load: rho,
-                mean_single: single.moments.mean(),
-                mean_double: double.moments.mean(),
-                p999_single: single.response.quantile(0.999),
-                p999_double: double.response.quantile(0.999),
-            }
-        })
-        .collect()
+    mean_vs_load_on(&Runner::global(), dist, loads, requests, seed)
 }
 
-/// Response-time CCDFs at one load for 1 and 2 copies (Fig 1(c)).
+/// [`mean_vs_load`] on an explicit [`Runner`]; load points run in
+/// parallel, bit-identical at any thread count.
+pub fn mean_vs_load_on<D: Distribution + Clone>(
+    runner: &Runner,
+    dist: &D,
+    loads: &[f64],
+    requests: usize,
+    seed: u64,
+) -> Vec<LoadPoint> {
+    runner.map(loads, |_i, &rho| {
+        let base = Config::new(dist.clone(), rho).with_requests(requests, requests / 10);
+        let mut single = run(&base.clone().with_copies(1), seed);
+        let mut double = run(&base.with_copies(2), seed);
+        LoadPoint {
+            load: rho,
+            mean_single: single.moments.mean(),
+            mean_double: double.moments.mean(),
+            p999_single: single.response.quantile(0.999),
+            p999_double: double.response.quantile(0.999),
+        }
+    })
+}
+
+/// Response-time CCDFs at one load for 1 and 2 copies (Fig 1(c)). The
+/// paired runs execute in parallel on the global runner.
 pub fn ccdf_at_load<D: Distribution + Clone>(
     dist: &D,
     load: f64,
@@ -59,8 +74,10 @@ pub fn ccdf_at_load<D: Distribution + Clone>(
     seed: u64,
 ) -> (Ccdf, Ccdf) {
     let base = Config::new(dist.clone(), load).with_requests(requests, requests / 10);
-    let mut single = run(&base.clone().with_copies(1), seed);
-    let mut double = run(&base.with_copies(2), seed);
+    let (mut single, mut double) = Runner::global().pair(
+        || run(&base.clone().with_copies(1), seed),
+        || run(&base.clone().with_copies(2), seed),
+    );
     (single.response.ccdf(points), double.response.ccdf(points))
 }
 
@@ -83,25 +100,24 @@ pub fn run_once<D: Distribution + Clone>(
 
 /// Fig 2(a): threshold load vs Weibull inverse shape γ.
 pub fn weibull_family(gammas: &[f64], opts: &ThresholdOptions) -> Vec<(f64, f64)> {
-    gammas
-        .iter()
-        .map(|&g| (g, threshold_load(&Weibull::unit_mean_inverse_shape(g), opts)))
-        .collect()
+    let runner = Runner::global();
+    runner.map(gammas, |_i, &g| {
+        (g, threshold_load_on(&runner, &Weibull::unit_mean_inverse_shape(g), opts))
+    })
 }
 
 /// Fig 2(b): threshold load vs Pareto inverse scale β.
 pub fn pareto_family(betas: &[f64], opts: &ThresholdOptions) -> Vec<(f64, f64)> {
-    betas
-        .iter()
-        .map(|&b| (b, threshold_load(&Pareto::unit_mean_inverse_scale(b), opts)))
-        .collect()
+    let runner = Runner::global();
+    runner.map(betas, |_i, &b| {
+        (b, threshold_load_on(&runner, &Pareto::unit_mean_inverse_scale(b), opts))
+    })
 }
 
 /// Fig 2(c): threshold load vs the two-point parameter p.
 pub fn two_point_family(ps: &[f64], opts: &ThresholdOptions) -> Vec<(f64, f64)> {
-    ps.iter()
-        .map(|&p| (p, threshold_load(&TwoPoint::new(p), opts)))
-        .collect()
+    let runner = Runner::global();
+    runner.map(ps, |_i, &p| (p, threshold_load_on(&runner, &TwoPoint::new(p), opts)))
 }
 
 /// One row of Fig 3: the spread of threshold loads over randomly drawn
@@ -120,6 +136,10 @@ pub struct RandomDistRow {
 /// a symmetric Dirichlet(α) on the simplex (α = 1 → the paper's "Uniform"
 /// series; α = 0.1 → its "Dirichlet" series), normalizes them to unit mean,
 /// and reports the min/max threshold load observed.
+///
+/// All `supports.len() × samples` threshold searches run in parallel; each
+/// random distribution is drawn from a stream forked per (support, sample)
+/// index, so the result is independent of scheduling.
 pub fn random_distributions(
     supports: &[usize],
     samples: usize,
@@ -127,41 +147,48 @@ pub fn random_distributions(
     opts: &ThresholdOptions,
 ) -> Vec<RandomDistRow> {
     let mut rng = Rng::seed_from(opts.seed ^ 0xF163);
+    // Draw every candidate distribution upfront (serial, deterministic),
+    // then fan the expensive threshold searches out over the runner.
+    let dists: Vec<(usize, simcore::dist::DiscreteEmpirical)> = supports
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &n)| {
+            let mut draw_rng = rng.fork(si as u64);
+            (0..samples)
+                .map(|_| (n, random_unit_mean_discrete(&mut draw_rng, n, alpha)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let runner = Runner::global();
+    let thresholds = runner.map(&dists, |_i, (_n, d)| threshold_load_on(&runner, d, opts));
     supports
         .iter()
-        .map(|&n| {
-            let mut min_thr = f64::INFINITY;
-            let mut max_thr = f64::NEG_INFINITY;
-            for _ in 0..samples {
-                let d = random_unit_mean_discrete(&mut rng, n, alpha);
-                let t = threshold_load(&d, opts);
-                min_thr = min_thr.min(t);
-                max_thr = max_thr.max(t);
-            }
+        .enumerate()
+        .map(|(si, &n)| {
+            let slice = &thresholds[si * samples..(si + 1) * samples];
             RandomDistRow {
                 support: n,
-                min_threshold: min_thr,
-                max_threshold: max_thr,
+                min_threshold: slice.iter().copied().fold(f64::INFINITY, f64::min),
+                max_threshold: slice.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             }
         })
         .collect()
 }
 
 /// Fig 4: threshold load vs client-side overhead (as a fraction of the
-/// mean service time), for one service distribution.
+/// mean service time), for one service distribution. Overhead points run
+/// in parallel.
 pub fn overhead_sweep<D: Distribution + Clone>(
     dist: &D,
     overhead_fractions: &[f64],
     opts: &ThresholdOptions,
 ) -> Vec<(f64, f64)> {
     let mean = dist.mean();
-    overhead_fractions
-        .iter()
-        .map(|&frac| {
-            let o = opts.clone().with_overhead(frac * mean);
-            (frac, threshold_load(dist, &o))
-        })
-        .collect()
+    let runner = Runner::global();
+    runner.map(overhead_fractions, |_i, &frac| {
+        let o = opts.clone().with_overhead(frac * mean);
+        (frac, threshold_load_on(&runner, dist, &o))
+    })
 }
 
 #[cfg(test)]
@@ -234,5 +261,21 @@ mod tests {
         let rows = overhead_sweep(&Exponential::unit(), &[0.0, 1.0], &opts);
         assert!(rows[0].1 > 0.28, "zero-overhead threshold {}", rows[0].1);
         assert!(rows[1].1 < 0.05, "full-overhead threshold {}", rows[1].1);
+    }
+
+    #[test]
+    fn mean_vs_load_bit_identical_across_thread_counts() {
+        let loads = [0.1, 0.25, 0.4];
+        let base = mean_vs_load_on(&Runner::serial(), &Exponential::unit(), &loads, 10_000, 7);
+        for threads in [2, 8] {
+            let pts =
+                mean_vs_load_on(&Runner::new(threads), &Exponential::unit(), &loads, 10_000, 7);
+            for (a, b) in base.iter().zip(&pts) {
+                assert_eq!(a.mean_single.to_bits(), b.mean_single.to_bits());
+                assert_eq!(a.mean_double.to_bits(), b.mean_double.to_bits());
+                assert_eq!(a.p999_single.to_bits(), b.p999_single.to_bits());
+                assert_eq!(a.p999_double.to_bits(), b.p999_double.to_bits());
+            }
+        }
     }
 }

@@ -8,10 +8,62 @@
 //! Because `g` is a small difference of two noisy estimates, each evaluation
 //! uses paired runs (common random numbers — see [`crate::model`]) averaged
 //! over several independent seeds, and the bisection treats an evaluation as
-//! decisive only relative to its standard error.
+//! decisive only relative to its standard error: when `|g| < 2·se` the
+//! search widens the replication count (up to
+//! [`ThresholdOptions::max_replications`]) before trusting the sign.
+//!
+//! ## Common random numbers across bisection midpoints
+//!
+//! Every midpoint evaluation re-uses the *same* per-replication random
+//! draws ([`CrnCache`]): arrival increments are stored at unit rate and
+//! rescaled by the load under test, and service times / server placements
+//! do not depend on load at all. Two consequences:
+//!
+//! * **speed** — a midpoint evaluation is a pure arithmetic queue pass
+//!   (no RNG, no transcendental sampling), so the bisection no longer
+//!   re-simulates from scratch at every step;
+//! * **stability** — `g(ρ)` becomes a deterministic function of ρ for a
+//!   fixed draw set, so bisection steps cannot contradict each other due
+//!   to fresh sampling noise.
+//!
+//! ## Parallelism and determinism
+//!
+//! Replications are independent and run on a [`Runner`] (all public entry
+//! points have `*_on` variants taking an explicit runner; the plain
+//! versions use [`Runner::global`]). Per-replication seeds are derived
+//! from explicit [`Rng::fork`] streams of the options' base seed — never
+//! from loop order — so results are **bit-identical at any thread count**.
 
-use crate::model::{run, Config};
 use simcore::dist::Distribution;
+use simcore::rng::{Rng, SplitMix64};
+use simcore::runner::Runner;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Above this many cached draws per search (run length × the replication
+/// ceiling, 32 bytes each — ~100 MB) the CRN cache stops storing draws
+/// and regenerates them per evaluation instead (identical arithmetic,
+/// bounded memory). Heavy-tailed full-effort runs scale to millions of
+/// requests per replication; caching those would cost GBs per concurrent
+/// threshold search.
+const CRN_CACHE_MAX_DRAWS: usize = 3_200_000;
+
+/// Process-wide ceiling on simultaneously materialized CRN draws
+/// (~512 MB at 32 B/draw): the Fig 2/3 family sweeps run up to
+/// thread-count searches concurrently, so a per-search bound alone would
+/// scale resident memory with cores. Searches that cannot reserve budget
+/// stream their draws instead — results are identical either way.
+const CRN_CACHE_GLOBAL_BUDGET_DRAWS: usize = 16_000_000;
+static CRN_CACHE_RESERVED_DRAWS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reserves `n` draws from the process-wide budget; `false` when the
+/// budget is exhausted (caller streams instead).
+fn try_reserve_draws(n: usize) -> bool {
+    CRN_CACHE_RESERVED_DRAWS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            (cur + n <= CRN_CACHE_GLOBAL_BUDGET_DRAWS).then_some(cur + n)
+        })
+        .is_ok()
+}
 
 /// Tuning for the threshold search. Defaults are figure-quality; tests use
 /// [`ThresholdOptions::fast`].
@@ -25,6 +77,10 @@ pub struct ThresholdOptions {
     pub warmup: usize,
     /// Independent seed pairs averaged per evaluation of `g`.
     pub replications: usize,
+    /// Ceiling on replications when an evaluation is indecisive
+    /// (`|g| < 2·se`): the search doubles the replication count up to this
+    /// value before trusting the sign of `g`.
+    pub max_replications: usize,
     /// Bisection terminates when the bracket is narrower than this.
     pub tolerance: f64,
     /// Client-side overhead added per replicated request (Fig 4's x-axis).
@@ -36,7 +92,8 @@ pub struct ThresholdOptions {
     /// scaling, the Figure 2 families keep climbing toward the 50 % ceiling
     /// as the paper's do.
     pub scale_with_variance: bool,
-    /// Base RNG seed; distinct evaluations derive from it deterministically.
+    /// Base RNG seed; per-replication streams are forked from it
+    /// deterministically (never from loop order).
     pub seed: u64,
 }
 
@@ -47,6 +104,7 @@ impl Default for ThresholdOptions {
             requests: 150_000,
             warmup: 15_000,
             replications: 6,
+            max_replications: 12,
             tolerance: 0.004,
             replication_overhead: 0.0,
             scale_with_variance: true,
@@ -64,6 +122,7 @@ impl ThresholdOptions {
             requests: 40_000,
             warmup: 4_000,
             replications: 4,
+            max_replications: 8,
             tolerance: 0.01,
             ..Default::default()
         }
@@ -76,6 +135,251 @@ impl ThresholdOptions {
     }
 }
 
+/// One request's worth of random draws, shared by the paired k = 1 / k = 2
+/// runs: a unit-rate arrival increment (rescaled by the load under test),
+/// both copies' service times, and the server placements each replication
+/// factor would choose.
+#[derive(Clone, Copy, Debug)]
+struct Draw {
+    /// Unit-rate exponential arrival increment (`−ln u`); divided by the
+    /// total arrival rate at evaluation time.
+    arrival: f64,
+    /// Service times for copy 0 and copy 1. Copy 0 is shared between the
+    /// paired runs, exactly as in [`crate::model::run`].
+    svc: [f64; 2],
+    /// Server chosen by the k = 1 run.
+    place_single: u16,
+    /// Distinct servers chosen by the k = 2 run.
+    place_pair: [u16; 2],
+}
+
+/// Generates the draw stream for one replication. Mirrors the draw order
+/// of [`crate::model::run`]: a sequential arrival stream plus per-request
+/// substreams keyed on `(salt, request index)`, with the k = 1 placement
+/// taken from a clone of the substream so both replication factors consume
+/// the same prefix (CRN pairing).
+struct DrawGen<'a, D: ?Sized> {
+    arrival_rng: Rng,
+    salt: u64,
+    dist: &'a D,
+    servers: usize,
+    next_index: usize,
+}
+
+impl<'a, D: Distribution + ?Sized> DrawGen<'a, D> {
+    fn new(dist: &'a D, servers: usize, seed: u64) -> Self {
+        assert!(servers <= u16::MAX as usize, "too many servers for the CRN cache");
+        DrawGen {
+            arrival_rng: Rng::seed_from(seed).fork(0),
+            salt: SplitMix64::new(seed ^ 0x5EED_CAFE).next_u64(),
+            dist,
+            servers,
+            next_index: 0,
+        }
+    }
+
+    fn next(&mut self) -> Draw {
+        let i = self.next_index;
+        self.next_index += 1;
+        let arrival = -self.arrival_rng.f64_open().ln();
+        let mut req_rng =
+            Rng::seed_from(self.salt ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let svc0 = self.dist.sample(&mut req_rng);
+        // The k = 1 run continues the substream right after copy 0's
+        // service draw; the k = 2 run draws its second service time first.
+        let mut single_rng = req_rng.clone();
+        let place_single = single_rng.index(self.servers) as u16;
+        let svc1 = self.dist.sample(&mut req_rng);
+        let pair = req_rng.distinct_indices(self.servers, 2);
+        Draw {
+            arrival,
+            svc: [svc0, svc1],
+            place_single,
+            place_pair: [pair[0] as u16, pair[1] as u16],
+        }
+    }
+}
+
+/// Per-replication paired draw streams persisted across bisection
+/// midpoints, so re-evaluating `g` at a new load reuses arrival patterns
+/// and service draws instead of re-simulating from scratch.
+struct CrnCache<'a, D: ?Sized> {
+    dist: &'a D,
+    servers: usize,
+    /// Warm-up + measured requests (after variance scaling).
+    total: usize,
+    warmup: usize,
+    overhead: f64,
+    mean_service: f64,
+    max_replications: usize,
+    /// Per-replication seeds, forked from the base seed upfront so a
+    /// replication's stream is a pure function of its index.
+    seeds: Vec<u64>,
+    /// Materialized draw streams (grown lazily, in replication order).
+    /// Empty forever when the run length exceeds the cache bound.
+    cached: Vec<Vec<Draw>>,
+    cacheable: bool,
+    /// Draws reserved from the process-wide budget (released on drop).
+    reserved: usize,
+}
+
+impl<D: ?Sized> Drop for CrnCache<'_, D> {
+    fn drop(&mut self) {
+        if self.reserved > 0 {
+            CRN_CACHE_RESERVED_DRAWS.fetch_sub(self.reserved, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
+    fn new(dist: &'a D, opts: &ThresholdOptions) -> Self {
+        let factor = if opts.scale_with_variance {
+            let scv = dist.scv();
+            if scv.is_finite() { (1.0 + scv / 2.0).clamp(1.0, 8.0) } else { 8.0 }
+        } else {
+            1.0
+        };
+        let requests = (opts.requests as f64 * factor) as usize;
+        let warmup = (opts.warmup as f64 * factor) as usize;
+        let total = requests + warmup;
+        let max_replications = opts.max_replications.max(opts.replications);
+        let mut root = Rng::seed_from(opts.seed);
+        let seeds = (0..max_replications)
+            .map(|r| root.fork(r as u64).next_u64())
+            .collect();
+        let needed = total.saturating_mul(max_replications);
+        let cacheable = needed <= CRN_CACHE_MAX_DRAWS && try_reserve_draws(needed);
+        CrnCache {
+            dist,
+            servers: opts.servers,
+            total,
+            warmup,
+            overhead: opts.replication_overhead,
+            mean_service: dist.mean(),
+            max_replications,
+            seeds,
+            cached: Vec::new(),
+            cacheable,
+            reserved: if cacheable { needed } else { 0 },
+        }
+    }
+
+    /// Materializes draw streams for replications `0..reps` (no-op when
+    /// already present or when the run is too long to cache).
+    fn ensure(&mut self, reps: usize, runner: &Runner) {
+        if !self.cacheable || self.cached.len() >= reps {
+            return;
+        }
+        let have = self.cached.len();
+        let dist = self.dist;
+        let servers = self.servers;
+        let total = self.total;
+        let seeds = &self.seeds;
+        let new = runner.run(reps - have, |j| {
+            let mut gen = DrawGen::new(dist, servers, seeds[have + j]);
+            (0..total).map(|_| gen.next()).collect::<Vec<Draw>>()
+        });
+        self.cached.extend(new);
+    }
+
+    /// Runs the paired k = 1 / k = 2 queues over replication `r`'s draws at
+    /// base load `rho`, returning `mean(k=2) − mean(k=1)`.
+    fn paired_diff(&self, r: usize, rho: f64) -> f64 {
+        let lambda = self.servers as f64 * rho / self.mean_service;
+        if self.cacheable {
+            let draws = &self.cached[r];
+            let mut it = draws.iter();
+            self.paired_pass(lambda, move || *it.next().expect("draw stream exhausted"))
+        } else {
+            let mut gen = DrawGen::new(self.dist, self.servers, self.seeds[r]);
+            self.paired_pass(lambda, move || gen.next())
+        }
+    }
+
+    /// The shared queue pass: both replication factors advance through the
+    /// same arrival sequence, each with its own server state, exactly as
+    /// two paired [`crate::model::run`] calls would — but in one sweep with
+    /// no RNG on the hot path.
+    fn paired_pass(&self, lambda: f64, mut next_draw: impl FnMut() -> Draw) -> f64 {
+        let mut free_single = vec![0.0f64; self.servers];
+        let mut free_double = vec![0.0f64; self.servers];
+        let mut now = 0.0f64;
+        let mut sum_single = 0.0f64;
+        let mut sum_double = 0.0f64;
+        for i in 0..self.total {
+            let d = next_draw();
+            now += d.arrival / lambda;
+            let s = d.place_single as usize;
+            let done_single = now.max(free_single[s]) + d.svc[0];
+            free_single[s] = done_single;
+            let mut best = f64::INFINITY;
+            for j in 0..2 {
+                let s = d.place_pair[j] as usize;
+                let done = now.max(free_double[s]) + d.svc[j];
+                free_double[s] = done;
+                if done < best {
+                    best = done;
+                }
+            }
+            if i >= self.warmup {
+                sum_single += done_single - now;
+                sum_double += (best - now) + self.overhead;
+            }
+        }
+        let measured = (self.total - self.warmup) as f64;
+        (sum_double - sum_single) / measured
+    }
+
+    /// Paired estimate of `g(rho)` over `reps` replications, with the
+    /// standard error of the paired differences.
+    ///
+    /// # Panics
+    /// Panics when the replicated system has no steady state (`2·rho ≥ 1`)
+    /// or the load is not positive — the same guards [`crate::model::run`]
+    /// enforces.
+    fn gain_at(&mut self, rho: f64, reps: usize, runner: &Runner) -> (f64, f64) {
+        assert!(
+            rho > 0.0 && 2.0 * rho < 1.0,
+            "k*rho = {} >= 1 has no steady state",
+            2.0 * rho
+        );
+        self.ensure(reps, runner);
+        let diffs = runner.run(reps, |r| self.paired_diff(r, rho));
+        mean_and_se(&diffs)
+    }
+
+    /// Adaptive evaluation: widens the replication count (doubling, up to
+    /// the cap) while the estimate is indecisive relative to its standard
+    /// error. Diffs are a pure function of `(replication, rho)`, so each
+    /// widening step only evaluates the *new* replications.
+    fn decisive_gain(&mut self, rho: f64, base_reps: usize, runner: &Runner) -> (f64, f64) {
+        assert!(
+            rho > 0.0 && 2.0 * rho < 1.0,
+            "k*rho = {} >= 1 has no steady state",
+            2.0 * rho
+        );
+        let mut diffs: Vec<f64> = Vec::new();
+        let mut reps = base_reps.min(self.max_replications);
+        loop {
+            self.ensure(reps, runner);
+            let have = diffs.len();
+            diffs.extend(runner.run(reps - have, |j| self.paired_diff(have + j, rho)));
+            let (g, se) = mean_and_se(&diffs);
+            if g.abs() >= 2.0 * se || reps >= self.max_replications {
+                return (g, se);
+            }
+            reps = (reps * 2).min(self.max_replications);
+        }
+    }
+}
+
+fn mean_and_se(diffs: &[f64]) -> (f64, f64) {
+    let n = diffs.len() as f64;
+    let mean = diffs.iter().sum::<f64>() / n;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    (mean, (var / n).sqrt())
+}
+
 /// Paired estimate of `mean(k=2) − mean(k=1)` at base load `rho`, together
 /// with the standard error of the paired differences across replications.
 pub fn replication_gain<D: Distribution + Clone>(
@@ -83,31 +387,19 @@ pub fn replication_gain<D: Distribution + Clone>(
     rho: f64,
     opts: &ThresholdOptions,
 ) -> (f64, f64) {
-    let mut diffs = Vec::with_capacity(opts.replications);
-    let factor = if opts.scale_with_variance {
-        let scv = dist.scv();
-        if scv.is_finite() { (1.0 + scv / 2.0).clamp(1.0, 8.0) } else { 8.0 }
-    } else {
-        1.0
-    };
-    let requests = (opts.requests as f64 * factor) as usize;
-    let warmup = (opts.warmup as f64 * factor) as usize;
-    for r in 0..opts.replications {
-        let seed = opts
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1));
-        let base = Config::new(dist.clone(), rho)
-            .with_servers(opts.servers)
-            .with_requests(requests, warmup)
-            .with_replication_overhead(opts.replication_overhead);
-        let single = run(&base.clone().with_copies(1), seed);
-        let double = run(&base.with_copies(2), seed);
-        diffs.push(double.moments.mean() - single.moments.mean());
-    }
-    let n = diffs.len() as f64;
-    let mean = diffs.iter().sum::<f64>() / n;
-    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
-    (mean, (var / n).sqrt())
+    replication_gain_on(&Runner::global(), dist, rho, opts)
+}
+
+/// [`replication_gain`] on an explicit [`Runner`]. Results are
+/// bit-identical at any thread count.
+pub fn replication_gain_on<D: Distribution + Clone>(
+    runner: &Runner,
+    dist: &D,
+    rho: f64,
+    opts: &ThresholdOptions,
+) -> (f64, f64) {
+    let mut cache = CrnCache::new(dist, opts);
+    cache.gain_at(rho, opts.replications, runner)
 }
 
 /// Finds the threshold load for 2-way replication of `dist`.
@@ -117,25 +409,38 @@ pub fn replication_gain<D: Distribution + Clone>(
 /// replication never helps (e.g. overwhelming client-side overhead, Fig 4's
 /// right edge).
 pub fn threshold_load<D: Distribution + Clone>(dist: &D, opts: &ThresholdOptions) -> f64 {
+    threshold_load_on(&Runner::global(), dist, opts)
+}
+
+/// [`threshold_load`] on an explicit [`Runner`]. Results are bit-identical
+/// at any thread count (replication seeds are forked from the base seed by
+/// index, and the CRN cache makes every midpoint a deterministic function
+/// of the load).
+pub fn threshold_load_on<D: Distribution + Clone>(
+    runner: &Runner,
+    dist: &D,
+    opts: &ThresholdOptions,
+) -> f64 {
+    let mut cache = CrnCache::new(dist, opts);
     let mut lo = 0.01f64;
     let mut hi = 0.495f64;
 
     // If replication already hurts at the lowest load we test, the
     // threshold is effectively zero.
-    let (g_lo, se_lo) = replication_gain(dist, lo, opts);
+    let (g_lo, se_lo) = cache.decisive_gain(lo, opts.replications, runner);
     if g_lo > 2.0 * se_lo {
         return 0.0;
     }
     // If replication still helps just under saturation, the threshold is at
     // its ceiling.
-    let (g_hi, se_hi) = replication_gain(dist, hi, opts);
+    let (g_hi, se_hi) = cache.decisive_gain(hi, opts.replications, runner);
     if g_hi < -2.0 * se_hi {
         return hi;
     }
 
     while hi - lo > opts.tolerance {
         let mid = 0.5 * (lo + hi);
-        let (g, _se) = replication_gain(dist, mid, opts);
+        let (g, _se) = cache.decisive_gain(mid, opts.replications, runner);
         if g < 0.0 {
             lo = mid;
         } else {
@@ -222,5 +527,98 @@ mod tests {
         let (g_high, _) = replication_gain(&Exponential::unit(), 0.45, &opts);
         assert!(g_low < 0.0, "replication should help at 0.15: {g_low}");
         assert!(g_high > 0.0, "replication should hurt at 0.45: {g_high}");
+    }
+
+    #[test]
+    fn threshold_bit_identical_across_thread_counts() {
+        // The runner contract end-to-end: same bits at 1, 2, and 8 threads.
+        let mut opts = ThresholdOptions::fast();
+        opts.requests = 8_000;
+        opts.warmup = 800;
+        opts.replications = 3;
+        opts.max_replications = 6;
+        opts.tolerance = 0.05;
+        let base = threshold_load_on(&Runner::serial(), &Exponential::unit(), &opts);
+        for threads in [2, 8] {
+            let thr = threshold_load_on(&Runner::new(threads), &Exponential::unit(), &opts);
+            assert_eq!(base.to_bits(), thr.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cached_and_streamed_draws_agree_bitwise() {
+        // The memory-bounded fallback must be arithmetically identical to
+        // the cached path: compare a cacheable run against the same run
+        // forced through the streaming branch.
+        let opts = ThresholdOptions::fast();
+        let dist = Exponential::unit();
+        let mut cached = CrnCache::new(&dist, &opts);
+        cached.ensure(2, &Runner::serial());
+        assert!(cached.cacheable && cached.cached.len() == 2);
+        let mut streamed = CrnCache::new(&dist, &opts);
+        streamed.cacheable = false;
+        for r in 0..2 {
+            for rho in [0.1, 0.3, 0.45] {
+                assert_eq!(
+                    cached.paired_diff(r, rho).to_bits(),
+                    streamed.paired_diff(r, rho).to_bits(),
+                    "r={r} rho={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crn_paired_diff_matches_model_run() {
+        // The CRN cache re-implements model::run's draw scheme and queue
+        // arithmetic for speed; this pins the two against each other so a
+        // future edit to either cannot silently decorrelate them. The only
+        // permitted difference is mean-accumulation rounding (Welford vs.
+        // plain sum), hence the tight-but-not-bitwise tolerance.
+        use crate::model::{run, Config};
+        let mut opts = ThresholdOptions::fast();
+        opts.requests = 12_000;
+        opts.warmup = 1_200;
+        opts.scale_with_variance = false; // keep run lengths comparable
+        let dist = Exponential::unit();
+        let mut cache = CrnCache::new(&dist, &opts);
+        cache.ensure(2, &Runner::serial());
+        for r in 0..2 {
+            for rho in [0.15, 0.3, 0.45] {
+                let g_cache = cache.paired_diff(r, rho);
+                let seed = cache.seeds[r];
+                let base = Config::new(dist, rho)
+                    .with_servers(opts.servers)
+                    .with_requests(opts.requests, opts.warmup);
+                let single = run(&base.clone().with_copies(1), seed);
+                let double = run(&base.with_copies(2), seed);
+                let g_model = double.moments.mean() - single.moments.mean();
+                assert!(
+                    (g_cache - g_model).abs() <= 1e-9 * (1.0 + g_model.abs()),
+                    "r={r} rho={rho}: cache {g_cache} vs model {g_model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indecisive_evaluations_widen_replications() {
+        // Right at the threshold g ~ 0, so the adaptive pass must widen to
+        // the cap rather than settle at the base count.
+        let mut opts = ThresholdOptions::fast();
+        opts.requests = 6_000;
+        opts.warmup = 600;
+        opts.replications = 2;
+        opts.max_replications = 8;
+        let dist = Exponential::unit();
+        let mut cache = CrnCache::new(&dist, &opts);
+        let runner = Runner::serial();
+        let (_g, _se) = cache.decisive_gain(1.0 / 3.0, opts.replications, &runner);
+        assert!(
+            cache.cached.len() > opts.replications,
+            "expected widening beyond {} replications, cached {}",
+            opts.replications,
+            cache.cached.len()
+        );
     }
 }

@@ -18,7 +18,11 @@
 //!   §2.4 flow-size workload;
 //! * [`stats`] — streaming moments, exact quantiles, log-binned histograms
 //!   and CCDF extraction matching the paper's "fraction later than
-//!   threshold" plots.
+//!   threshold" plots;
+//! * [`runner::Runner`] — a dependency-free scoped-thread executor for the
+//!   embarrassingly-parallel run-many-simulations shape every figure has,
+//!   with deterministic (task-order) results so output is bit-identical at
+//!   any thread count.
 //!
 //! Everything here is deterministic given a seed: two runs of any experiment
 //! in this workspace produce byte-identical output, which is what makes the
@@ -59,6 +63,7 @@
 pub mod dist;
 pub mod event;
 pub mod rng;
+pub mod runner;
 pub mod simplex;
 pub mod special;
 pub mod stats;
@@ -73,6 +78,7 @@ pub mod prelude {
     };
     pub use crate::event::EventQueue;
     pub use crate::rng::Rng;
+    pub use crate::runner::Runner;
     pub use crate::stats::{Ccdf, SampleSet, Summary, Welford};
     pub use crate::time::SimTime;
 }

@@ -1,0 +1,246 @@
+//! Parallel execution of independent simulation tasks.
+//!
+//! Every figure in the paper is assembled from hundreds of *independent*
+//! runs (load points × replication factors × seed replications), so the
+//! workspace's scaling story is embarrassingly parallel — provided the
+//! randomness of each task is derived from its *index*, never from
+//! execution order. This module supplies the execution half of that
+//! contract; [`crate::rng::Rng::fork`] supplies the seeding half.
+//!
+//! Design:
+//!
+//! * [`Runner`] — a thread-count config plus `run`/`map` combinators built
+//!   on `std::thread::scope` (no dependencies, no unsafe). Work is pulled
+//!   from a chunked atomic queue so uneven task costs balance, and results
+//!   are reassembled **in task order**, so output is deterministic.
+//! * The **bit-identical contract**: for any closure whose output depends
+//!   only on its task index (and not on shared mutable state), `run` at 1,
+//!   2, or 64 threads returns byte-identical results. The workspace's
+//!   property tests pin this for the threshold search and the load sweeps.
+//! * A process-wide default thread count, settable once from a CLI flag
+//!   (`repro --threads N`) or the `LLR_THREADS` environment variable, read
+//!   by [`Runner::global`]. The default is the machine's available
+//!   parallelism.
+//!
+//! Nested use is permitted (a parallel family sweep whose per-point
+//! threshold search is itself parallel): scoped threads compose, and the
+//! worst case is transient oversubscription, never deadlock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default thread count. 0 means "not yet resolved".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default thread count used by [`Runner::global`].
+///
+/// Call this once at startup (e.g. from a `--threads N` flag). Passing 0
+/// resets to the automatic default (env override, then available
+/// parallelism).
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Resolves the process-wide default thread count: an explicit
+/// [`set_global_threads`] wins, then the `LLR_THREADS` environment
+/// variable, then [`std::thread::available_parallelism`]. The resolved
+/// value is cached, so steady-state calls are one atomic load.
+pub fn global_threads() -> usize {
+    let set = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if set > 0 {
+        return set;
+    }
+    let resolved = std::env::var("LLR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    // Cache for next time unless a concurrent set_global_threads won.
+    let _ = GLOBAL_THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    resolved
+}
+
+/// A parallel executor for independent, index-addressed tasks.
+#[derive(Clone, Debug)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::global()
+    }
+}
+
+impl Runner {
+    /// A runner with an explicit thread count (≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runner: tasks run inline on the caller's thread.
+    pub fn serial() -> Self {
+        Runner { threads: 1 }
+    }
+
+    /// A runner using the process-wide default (see [`global_threads`]).
+    pub fn global() -> Self {
+        Runner::new(global_threads())
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `n` independent tasks, returning their results **in task
+    /// order** (index 0 first) regardless of completion order or thread
+    /// count.
+    ///
+    /// `f` must derive everything it needs from its index argument; the
+    /// bit-identical-at-any-thread-count guarantee holds exactly when it
+    /// does.
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = self.threads.min(n);
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // Chunked work queue: workers claim `chunk` consecutive indices at
+        // a time, balancing uneven task costs without per-task contention.
+        let chunk = (n / (threads * 8)).max(1);
+        let next = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(n) {
+                                out.push((i, f(i)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                tagged.extend(h.join().expect("runner worker panicked"));
+            }
+        });
+        // Deterministic result ordering: reassemble by task index.
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Maps `f` over a slice in parallel, preserving order. Convenience
+    /// wrapper over [`Runner::run`].
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Runs two heterogeneous tasks concurrently and returns `(a(), b())`.
+    /// The tuple order is fixed by the argument order — no index
+    /// bookkeeping for the ubiquitous paired-run (baseline vs. replicated)
+    /// shape.
+    pub fn pair<A, B>(
+        &self,
+        a: impl FnOnce() -> A + Send,
+        b: impl FnOnce() -> B + Send,
+    ) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+    {
+        if self.threads <= 1 {
+            let ra = a();
+            (ra, b())
+        } else {
+            std::thread::scope(|scope| {
+                let hb = scope.spawn(b);
+                let ra = a();
+                (ra, hb.join().expect("runner worker panicked"))
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn results_in_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let r = Runner::new(threads);
+            let out = r.run(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..57).collect();
+        let serial = Runner::serial().map(&items, |i, &x| x * 3 + i as u64);
+        let parallel = Runner::new(8).map(&items, |i, &x| x * 3 + i as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bit_identical_rng_streams_at_any_thread_count() {
+        // The seeding contract: per-task streams derived from the index
+        // produce byte-identical output at every thread count.
+        let job = |i: usize| -> Vec<u64> {
+            let mut rng = Rng::seed_from(0xC0FFEE).fork(i as u64);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        let base = Runner::serial().run(33, job);
+        for threads in [2, 5, 8, 16] {
+            assert_eq!(base, Runner::new(threads).run(33, job));
+        }
+    }
+
+    #[test]
+    fn uneven_task_costs_still_ordered() {
+        let r = Runner::new(4);
+        let out = r.run(40, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_and_single_task() {
+        let r = Runner::new(8);
+        assert!(r.run(0, |i| i).is_empty());
+        assert_eq!(r.run(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn global_runner_has_positive_threads() {
+        assert!(Runner::global().threads() >= 1);
+        assert!(global_threads() >= 1);
+    }
+}

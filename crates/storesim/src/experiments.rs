@@ -15,6 +15,7 @@ use crate::cluster::{self, ClusterConfig, FilePopulation, NetProfile};
 use crate::disk::DiskProfile;
 use simcore::dist::{BoundedPareto, Deterministic, DynDist, Exponential, Mixture};
 use simcore::rng::Rng;
+use simcore::runner::Runner;
 use simcore::stats::Ccdf;
 use std::sync::Arc;
 
@@ -225,26 +226,34 @@ pub struct LoadSweepRow {
 /// Sweeps the experiment across `loads`, running both replication factors.
 /// Loads where 2 copies would saturate (≥ 0.5) report `NaN` for the
 /// replicated columns, matching the paper's truncated 2-copy curves.
+///
+/// All `(load, copies)` cluster runs execute in parallel on the global
+/// [`Runner`]; each run's randomness comes from `(seed, load, copies)`
+/// alone, so results are bit-identical at any thread count.
 pub fn run_load_sweep(
     spec: &ExperimentSpec,
     loads: &[f64],
     requests: usize,
     seed: u64,
 ) -> Vec<LoadSweepRow> {
+    // Flatten to one task per (load, copies) pair so the runner balances
+    // the expensive replicated runs across threads.
+    let mut results = Runner::global().run(loads.len() * 2, |task| {
+        let load = loads[task / 2];
+        let copies = 1 + task % 2;
+        if copies == 2 && 2.0 * load >= 0.98 {
+            return None;
+        }
+        Some(cluster::run(&spec.to_config(copies, load, requests, seed)))
+    });
     loads
         .iter()
-        .map(|&load| {
-            let mut single =
-                cluster::run(&spec.to_config(1, load, requests, seed));
-            let (mean_double, p999_double) = if 2.0 * load < 0.98 {
-                let mut double =
-                    cluster::run(&spec.to_config(2, load, requests, seed));
-                (
-                    double.response.mean(),
-                    double.response.quantile(0.999),
-                )
-            } else {
-                (f64::NAN, f64::NAN)
+        .enumerate()
+        .map(|(i, &load)| {
+            let mut single = results[2 * i].take().expect("single-copy run always present");
+            let (mean_double, p999_double) = match results[2 * i + 1].take() {
+                Some(mut double) => (double.response.mean(), double.response.quantile(0.999)),
+                None => (f64::NAN, f64::NAN),
             };
             LoadSweepRow {
                 load,
@@ -258,7 +267,7 @@ pub fn run_load_sweep(
 }
 
 /// The right-hand panel of Figs 5–11: response CCDFs at one load for both
-/// replication factors.
+/// replication factors. The paired runs execute in parallel.
 pub fn ccdf_at_load(
     spec: &ExperimentSpec,
     load: f64,
@@ -266,8 +275,10 @@ pub fn ccdf_at_load(
     points: usize,
     seed: u64,
 ) -> (Ccdf, Ccdf) {
-    let mut single = cluster::run(&spec.to_config(1, load, requests, seed));
-    let mut double = cluster::run(&spec.to_config(2, load, requests, seed));
+    let (mut single, mut double) = Runner::global().pair(
+        || cluster::run(&spec.to_config(1, load, requests, seed)),
+        || cluster::run(&spec.to_config(2, load, requests, seed)),
+    );
     (
         single.response.ccdf(points),
         double.response.ccdf(points),

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Diff the quick-mode repro output against the headline bands recorded in
+# EXPERIMENTS.md. Usage: scripts/check_headlines.sh <results-dir>
+#
+# Bands, not digits: quick-mode estimates carry Monte-Carlo spread and
+# libm differences across platforms can perturb the last bits, so each
+# check asserts the recorded band. A failure here means the models'
+# behavior changed — update EXPERIMENTS.md in the same PR if intended.
+set -u
+dir="${1:?usage: check_headlines.sh <results-dir>}"
+fails=0
+
+# check <label> <file> <awk-condition over data rows (tab-separated, no '#')>
+check() {
+  local label="$1" file="$2" cond="$3"
+  if [ ! -f "$dir/$file" ]; then
+    echo "FAIL $label: missing $dir/$file"
+    fails=$((fails + 1))
+    return
+  fi
+  if awk -F'\t' "!/^#/ && NF > 1 { $cond } END { exit ok ? 0 : 1 }" ok=0 "$dir/$file"; then
+    echo "ok   $label"
+  else
+    echo "FAIL $label (see $dir/$file)"
+    fails=$((fails + 1))
+  fi
+}
+
+# Theorem 1: all three methods near 1/3.
+check "thm1: thresholds at 1/3 +-0.04" thm1.txt \
+  'if ($2 > 0.293 && $2 < 0.373) ok++; else { ok = -1000000 }'
+
+# Fig 2(a): the Weibull family climbs toward the 50% ceiling.
+check "fig2a: gamma=10 threshold >= 0.45" fig2a.txt \
+  'if ($1 == "10.00000" && $2 >= 0.45) ok = 1'
+
+# Fig 2(b): heavier Pareto tails raise the threshold above 1/3 - noise.
+check "fig2b: beta=0.9 threshold in [0.32, 0.45]" fig2b.txt \
+  'if ($1 == "0.90000" && $2 >= 0.32 && $2 <= 0.45) ok = 1'
+
+# Fig 2(c): the deterministic worst case at p=0.
+check "fig2c: p=0 threshold in [0.22, 0.31]" fig2c.txt \
+  'if ($1 == "0.00000" && $2 >= 0.22 && $2 <= 0.31) ok = 1'
+
+# Fig 3: every random-distribution threshold inside the conjectured band.
+check "fig3: thresholds in [0.20, 0.50)" fig3.txt \
+  'if (NF == 4) { if ($3 >= 0.20 && $4 < 0.50) ok++; else { ok = -1000000 } }'
+
+# Fig 4: zero-overhead exponential near 1/3, full overhead collapses.
+check "fig4: exponential 0 -> >0.28, 1.0 -> <0.05" fig4.txt \
+  'if ($2 == "exponential" && $1 == "0.00000" && $3 > 0.28) a = 1; if ($2 == "exponential" && $1 == "1.00000" && $3 < 0.05) b = 1; ok = a && b'
+
+# TCP handshake: savings per KB far above break-even (paper: >= 170).
+check "tcp: savings/KB >= 160" tcp.txt 'ok = 1' # presence; value checked below
+if [ -f "$dir/tcp.txt" ]; then
+  rate=$(grep -o 'savings per KB: [0-9.]*' "$dir/tcp.txt" | grep -o '[0-9.]*$')
+  if [ -n "$rate" ] && awk "BEGIN { exit !($rate >= 160) }"; then
+    echo "ok   tcp: savings per KB $rate >= 160"
+  else
+    echo "FAIL tcp: savings per KB '$rate' < 160"
+    fails=$((fails + 1))
+  fi
+fi
+
+# Fig 16: 10-server mean reduction in the recorded band, tail strong.
+check "fig16: k=10 mean reduction in [35, 80], p99 > 30" fig16.txt \
+  'if ($1 == "10" && $2 >= 35 && $2 <= 80 && $5 > 30) ok = 1'
+
+# Fig 15: the 500 ms tail shrinks severalfold with 10 servers.
+if [ -f "$dir/fig15.txt" ]; then
+  ratio=$(grep -o 'fraction later than 500 ms.*(\([0-9.]*\)x)' "$dir/fig15.txt" | grep -o '[0-9.]*x' | tr -d 'x')
+  if [ -n "$ratio" ] && awk "BEGIN { exit !($ratio >= 3) }"; then
+    echo "ok   fig15: 500 ms tail cut ${ratio}x >= 3x"
+  else
+    echo "FAIL fig15: 500 ms tail cut '$ratio' < 3x"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig15: missing $dir/fig15.txt"
+  fails=$((fails + 1))
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails headline check(s) failed against EXPERIMENTS.md bands"
+  exit 1
+fi
+echo "all headline checks passed"

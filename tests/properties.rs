@@ -281,6 +281,62 @@ fn sampling_is_deterministic_across_runs() {
     }
 }
 
+/// Parallel execution is invisible in the numbers: `threshold_load` and
+/// `mean_vs_load` return bit-identical results at 1, 2, and 8 threads.
+/// This is the runner layer's central contract — per-task randomness is
+/// forked from task indices, never from execution order — checked across
+/// several service distributions.
+#[test]
+fn parallel_sweeps_bit_identical_across_thread_counts() {
+    use low_latency_redundancy::queuesim::sweeps::mean_vs_load_on;
+    use low_latency_redundancy::queuesim::threshold::{threshold_load_on, ThresholdOptions};
+    use low_latency_redundancy::simcore::runner::Runner;
+
+    let mut opts = ThresholdOptions::fast();
+    opts.requests = 6_000;
+    opts.warmup = 600;
+    opts.replications = 3;
+    opts.max_replications = 6;
+    opts.tolerance = 0.05;
+    let loads = [0.12, 0.3, 0.44];
+
+    let dists: Vec<Box<dyn Distribution>> = vec![
+        Box::new(Pareto::unit_mean(2.2)),
+        Box::new(Weibull::unit_mean(0.7)),
+        Box::new(TwoPoint::new(0.4)),
+    ];
+    for dist in &dists {
+        let thr_base = threshold_load_on(&Runner::new(1), &dist.as_ref(), &opts);
+        let pts_base = mean_vs_load_on(&Runner::new(1), &dist.as_ref(), &loads, 5_000, 0xBEE);
+        for threads in [2usize, 8] {
+            let runner = Runner::new(threads);
+            let thr = threshold_load_on(&runner, &dist.as_ref(), &opts);
+            assert_eq!(
+                thr_base.to_bits(),
+                thr.to_bits(),
+                "{}: threshold diverged at {threads} threads",
+                dist.label()
+            );
+            let pts = mean_vs_load_on(&runner, &dist.as_ref(), &loads, 5_000, 0xBEE);
+            for (a, b) in pts_base.iter().zip(&pts) {
+                for (x, y) in [
+                    (a.mean_single, b.mean_single),
+                    (a.mean_double, b.mean_double),
+                    (a.p999_single, b.p999_single),
+                    (a.p999_double, b.p999_double),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: sweep diverged at {threads} threads",
+                        dist.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Deterministic cross-crate check: racing thread replicas through the
 /// real library returns the known-fastest one.
 #[test]
