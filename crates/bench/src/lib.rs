@@ -43,8 +43,8 @@ impl Effort {
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
     "thm1", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6",
-    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b", "fig14c",
-    "tcp", "fig15", "fig16", "fig17",
+    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig-service", "fig14a", "fig14b",
+    "fig14c", "tcp", "fig15", "fig16", "fig17",
 ];
 
 /// Runs one experiment by id, returning its printable report.
@@ -71,6 +71,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig11" => store::disk_figure(store::DiskFigure::Fig11, effort),
         "fig12" => store::fig12(effort),
         "fig13" => store::fig13(effort),
+        "fig-service" => store::fig_service(effort),
         "fig14a" => network::fig14a(effort),
         "fig14b" => network::fig14b(effort),
         "fig14c" => network::fig14c(effort),

@@ -2,9 +2,12 @@
 
 use crate::util::{ms, num, Report};
 use crate::Effort;
+use simcore::dist::{DynDist, Exponential};
 use simcore::runner::Runner;
-use storesim::experiments::{ccdf_at_load, run_load_sweep, ExperimentSpec};
+use std::sync::Arc;
+use storesim::experiments::{ccdf_at_load, run_load_sweep, run_service_ramp, ExperimentSpec};
 use storesim::memcached::{run as run_memcached, MemcachedConfig, MemcachedProfile};
+use storesim::service::ServiceConfig;
 
 /// Which §2.2 figure.
 #[derive(Clone, Copy, Debug)]
@@ -144,6 +147,44 @@ pub fn fig12(effort: Effort) -> String {
     let two_ccdf = results[ccdf_base + 1].response.ccdf(50);
     r.ccdf("load 0.2, 1 copy", &one_ccdf);
     r.ccdf("load 0.2, 2 copies", &two_ccdf);
+    r.finish()
+}
+
+/// The service-layer load ramp: a sharded store whose front-end consults
+/// the planner per request, switching replication off live as the load
+/// estimate crosses the §2.1 threshold. The headline is the switch-off
+/// load vs. the offline threshold (exponential workload ⇒ 1/3).
+pub fn fig_service(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig-service: sharded service, planner-driven replication on a load ramp",
+        "Section 2.1 threshold, exercised online (no direct paper figure)",
+    );
+    let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+    let mut cfg = ServiceConfig::ramp(service, 0.05, 0.6);
+    cfg.requests = effort.scale(200_000, 50_000);
+    cfg.warmup = cfg.requests / 10;
+    let reps = effort.scale(8, 4);
+    let out = run_service_ramp(&cfg, reps);
+    r.note(&format!(
+        "{} servers, {} shards stored {}-way, FIFO service, exponential 1 ms workload, {} reps",
+        cfg.servers, cfg.shards, cfg.stored_replicas, reps
+    ));
+    r.header(&["load", "frac_k2", "mean_ms", "p99_ms"]);
+    for row in &out.rows {
+        r.row(&[
+            num(row.load),
+            num(row.frac_k2),
+            ms(row.mean_response),
+            ms(row.p99),
+        ]);
+    }
+    r.blank();
+    r.note(&format!("planner switch-off load: {:.5}", out.switch_off));
+    r.note(&format!("offline threshold: {:.5}", out.offline_threshold));
+    r.note(&format!(
+        "switch-off minus threshold: {:+.5} (band: +-0.05)",
+        out.switch_off - out.offline_threshold
+    ));
     r.finish()
 }
 

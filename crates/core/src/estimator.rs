@@ -1,0 +1,234 @@
+//! Live load estimation: the input the [`crate::planner::Planner`] needs
+//! to drive per-request replication decisions on real traffic.
+//!
+//! The planner's advice is a function of the current per-server
+//! utilization, but a front-end never observes utilization directly — it
+//! observes an arrival stream. [`RateEstimator`] turns that stream into a
+//! utilization estimate with a **windowed Welford accumulator** over
+//! inter-arrival gaps: the window makes the estimate track load *shifts*
+//! (the whole point of switching replication off as load climbs), and the
+//! Welford-style incremental update keeps mean and variance numerically
+//! stable at O(1) per arrival with no rescan of the window.
+//!
+//! The variance is exposed because it is the natural confidence signal: a
+//! Poisson stream at rate λ has gap CV ≈ 1, so a window whose gap variance
+//! is wildly larger than `mean²` indicates a mixed/bursty stream whose
+//! rate estimate deserves less trust.
+
+use std::collections::VecDeque;
+
+/// Windowed mean/variance of inter-arrival gaps, with rate and utilization
+/// views. All state is O(window) and every update is O(1).
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    window: usize,
+    gaps: VecDeque<f64>,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2),
+    /// maintained under both growth and sliding replacement.
+    m2: f64,
+    last_arrival: Option<f64>,
+}
+
+impl RateEstimator {
+    /// An estimator averaging over the last `window` inter-arrival gaps.
+    ///
+    /// # Panics
+    /// Panics if `window < 2` — a rate cannot be estimated from fewer than
+    /// two gaps without collapsing to a single-sample guess.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "rate window must be >= 2, got {window}");
+        RateEstimator {
+            window,
+            gaps: VecDeque::with_capacity(window),
+            mean: 0.0,
+            m2: 0.0,
+            last_arrival: None,
+        }
+    }
+
+    /// The configured window length (gaps).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of gaps currently held (saturates at the window length).
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// `true` when no gap has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// `true` once at least two gaps are held — the earliest point at
+    /// which [`rate`](Self::rate) returns a meaningful value.
+    pub fn is_warm(&self) -> bool {
+        self.gaps.len() >= 2
+    }
+
+    /// Records an arrival at absolute time `now` (same clock for every
+    /// call; must be nondecreasing). The first call only anchors the
+    /// clock; each subsequent call pushes one gap into the window.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous arrival.
+    pub fn observe_arrival(&mut self, now: f64) {
+        if let Some(last) = self.last_arrival {
+            assert!(now >= last, "arrivals must be nondecreasing: {now} < {last}");
+            self.push_gap(now - last);
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// Records one inter-arrival gap directly (for callers that already
+    /// difference their clock).
+    pub fn push_gap(&mut self, gap: f64) {
+        debug_assert!(gap >= 0.0 && gap.is_finite());
+        if self.gaps.len() == self.window {
+            // Sliding replacement: evict the oldest gap and admit the new
+            // one in a single windowed-Welford update.
+            let old = self.gaps.pop_front().expect("window nonempty");
+            self.gaps.push_back(gap);
+            let n = self.gaps.len() as f64;
+            let old_mean = self.mean;
+            let delta = gap - old;
+            self.mean += delta / n;
+            self.m2 += delta * (gap - self.mean + old - old_mean);
+            // Replacement arithmetic can leave a tiny negative residue.
+            if self.m2 < 0.0 {
+                self.m2 = 0.0;
+            }
+        } else {
+            // Growth phase: classic Welford.
+            self.gaps.push_back(gap);
+            let n = self.gaps.len() as f64;
+            let delta = gap - self.mean;
+            self.mean += delta / n;
+            self.m2 += delta * (gap - self.mean);
+        }
+    }
+
+    /// Mean inter-arrival gap over the window (0 if empty).
+    pub fn mean_gap(&self) -> f64 {
+        if self.gaps.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the windowed gaps (0 with < 2 gaps).
+    pub fn gap_variance(&self) -> f64 {
+        if self.gaps.len() < 2 {
+            0.0
+        } else {
+            self.m2 / self.gaps.len() as f64
+        }
+    }
+
+    /// Estimated arrival rate, 1 / mean gap (0 until warm).
+    pub fn rate(&self) -> f64 {
+        if !self.is_warm() || self.mean <= 0.0 {
+            0.0
+        } else {
+            1.0 / self.mean
+        }
+    }
+
+    /// Estimated **baseline** per-server utilization for a cluster of
+    /// `servers` identical servers with mean service time `mean_service`:
+    /// `rate · E[S] / servers` — the ρ axis every threshold in the paper
+    /// is defined against (what the load *would* be at k = 1, regardless
+    /// of how many copies are actually being issued).
+    pub fn utilization(&self, mean_service: f64, servers: usize) -> f64 {
+        debug_assert!(mean_service > 0.0 && servers > 0);
+        self.rate() * mean_service / servers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn matches_naive_moments_while_growing_and_sliding() {
+        let gaps: Vec<f64> = (0..200)
+            .map(|i| 0.5 + ((i * 37) % 101) as f64 * 0.01)
+            .collect();
+        let w = 32;
+        let mut est = RateEstimator::new(w);
+        for (i, &g) in gaps.iter().enumerate() {
+            est.push_gap(g);
+            let lo = (i + 1).saturating_sub(w);
+            let window = &gaps[lo..=i];
+            let (mean, var) = naive_mean_var(window);
+            assert!((est.mean_gap() - mean).abs() < 1e-12, "mean at {i}");
+            assert!((est.gap_variance() - var).abs() < 1e-9, "var at {i}");
+            assert_eq!(est.len(), window.len());
+        }
+    }
+
+    #[test]
+    fn rate_and_utilization_from_deterministic_gaps() {
+        let mut est = RateEstimator::new(8);
+        let mut t = 0.0;
+        for _ in 0..20 {
+            est.observe_arrival(t);
+            t += 0.25; // 4 arrivals/sec
+        }
+        assert!((est.rate() - 4.0).abs() < 1e-12);
+        // 4/sec * 0.5s mean service over 4 servers = 50% baseline load.
+        assert!((est.utilization(0.5, 4) - 0.5).abs() < 1e-12);
+        assert!(est.gap_variance() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_a_rate_shift_within_a_window() {
+        let mut est = RateEstimator::new(16);
+        let mut t = 0.0;
+        for _ in 0..32 {
+            est.observe_arrival(t);
+            t += 1.0;
+        }
+        assert!((est.rate() - 1.0).abs() < 1e-12);
+        // Rate doubles; once a full window of new gaps has been pushed the
+        // estimate must have converged to the new rate. (The first phase
+        // left the clock half a gap ahead, so the first new gap is a
+        // transition artifact — push window + 1 gaps to flush it.)
+        for _ in 0..17 {
+            t += 0.5;
+            est.observe_arrival(t);
+        }
+        assert!((est.rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_estimator_reports_zero() {
+        let mut est = RateEstimator::new(4);
+        assert!(est.is_empty());
+        assert_eq!(est.rate(), 0.0);
+        assert_eq!(est.utilization(1.0, 4), 0.0);
+        est.observe_arrival(1.0);
+        assert!(!est.is_warm(), "one arrival anchors the clock only");
+        est.observe_arrival(2.0);
+        assert!(!est.is_warm(), "one gap is not enough");
+        est.observe_arrival(3.0);
+        assert!(est.is_warm());
+        assert!((est.rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let _ = RateEstimator::new(1);
+    }
+}

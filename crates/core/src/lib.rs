@@ -5,7 +5,7 @@
 //! use whichever answer arrives first, and know *when that trade is
 //! worth it*.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * **Executors** — [`sync_exec`] races closures on threads (one per
 //!   copy, losers cancelled cooperatively via [`cancel::CancelToken`]);
@@ -26,6 +26,11 @@
 //!   `queuesim` crate: never replicate above 50 % utilization, always
 //!   below ~26 % (absent client cost), with the exact crossover computed
 //!   from the two-moment response model.
+//! * **Estimator** — [`estimator::RateEstimator`] turns a live arrival
+//!   stream into the utilization estimate the planner consumes (windowed
+//!   Welford over inter-arrival gaps), which is what lets a service
+//!   front-end adapt its replication factor as load shifts — see
+//!   `storesim::service` for the full loop running on simulated traffic.
 //!
 //! ## Quick start (threads)
 //!
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod estimator;
 pub mod planner;
 pub mod policy;
 pub mod sync_exec;
@@ -66,6 +72,7 @@ pub mod tokio_exec;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::cancel::CancelToken;
+    pub use crate::estimator::RateEstimator;
     pub use crate::planner::{Advice, Planner, WorkloadProfile};
     pub use crate::policy::Policy;
     pub use crate::sync_exec::{hedged, race, replica, RaceOutcome};

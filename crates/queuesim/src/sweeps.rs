@@ -176,19 +176,22 @@ pub fn random_distributions(
 }
 
 /// Fig 4: threshold load vs client-side overhead (as a fraction of the
-/// mean service time), for one service distribution. Overhead points run
-/// in parallel.
+/// mean service time), for one service distribution. All points share one
+/// CRN draw cache ([`crate::threshold::overhead_thresholds`]): the draws
+/// depend only on the seed, not the overhead, so they are generated once
+/// instead of per point — bit-identical to the old per-point searches.
+/// Replications inside each bisection step run in parallel on the global
+/// runner.
 pub fn overhead_sweep<D: Distribution + Clone>(
     dist: &D,
     overhead_fractions: &[f64],
     opts: &ThresholdOptions,
 ) -> Vec<(f64, f64)> {
     let mean = dist.mean();
-    let runner = Runner::global();
-    runner.map(overhead_fractions, |_i, &frac| {
-        let o = opts.clone().with_overhead(frac * mean);
-        (frac, threshold_load_on(&runner, dist, &o))
-    })
+    let overheads: Vec<f64> = overhead_fractions.iter().map(|&f| f * mean).collect();
+    let thresholds =
+        crate::threshold::overhead_thresholds_on(&Runner::global(), dist, &overheads, opts);
+    overhead_fractions.iter().copied().zip(thresholds).collect()
 }
 
 #[cfg(test)]

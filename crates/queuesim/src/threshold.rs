@@ -26,6 +26,11 @@
 //!   fixed draw set, so bisection steps cannot contradict each other due
 //!   to fresh sampling noise.
 //!
+//! The client overhead enters only the response-time *accumulation*, never
+//! the draws, so one cache also serves every point of a Fig 4 overhead
+//! sweep ([`overhead_thresholds`]) — bit-identical to running a fresh
+//! search per point, without regenerating the draw streams.
+//!
 //! ## Parallelism and determinism
 //!
 //! Replications are independent and run on a [`Runner`] (all public entry
@@ -209,7 +214,6 @@ struct CrnCache<'a, D: ?Sized> {
     /// Warm-up + measured requests (after variance scaling).
     total: usize,
     warmup: usize,
-    overhead: f64,
     mean_service: f64,
     max_replications: usize,
     /// Per-replication seeds, forked from the base seed upfront so a
@@ -254,7 +258,6 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
             servers: opts.servers,
             total,
             warmup,
-            overhead: opts.replication_overhead,
             mean_service: dist.mean(),
             max_replications,
             seeds,
@@ -283,16 +286,22 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
     }
 
     /// Runs the paired k = 1 / k = 2 queues over replication `r`'s draws at
-    /// base load `rho`, returning `mean(k=2) − mean(k=1)`.
-    fn paired_diff(&self, r: usize, rho: f64) -> f64 {
+    /// base load `rho` with a per-replicated-request client `overhead`,
+    /// returning `mean(k=2) − mean(k=1)`. The overhead is an *evaluation*
+    /// parameter (not baked into the cache) precisely so one cache can
+    /// serve every point of an overhead sweep — the draws do not depend on
+    /// it.
+    fn paired_diff(&self, r: usize, rho: f64, overhead: f64) -> f64 {
         let lambda = self.servers as f64 * rho / self.mean_service;
         if self.cacheable {
             let draws = &self.cached[r];
             let mut it = draws.iter();
-            self.paired_pass(lambda, move || *it.next().expect("draw stream exhausted"))
+            self.paired_pass(lambda, overhead, move || {
+                *it.next().expect("draw stream exhausted")
+            })
         } else {
             let mut gen = DrawGen::new(self.dist, self.servers, self.seeds[r]);
-            self.paired_pass(lambda, move || gen.next())
+            self.paired_pass(lambda, overhead, move || gen.next())
         }
     }
 
@@ -300,7 +309,7 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
     /// same arrival sequence, each with its own server state, exactly as
     /// two paired [`crate::model::run`] calls would — but in one sweep with
     /// no RNG on the hot path.
-    fn paired_pass(&self, lambda: f64, mut next_draw: impl FnMut() -> Draw) -> f64 {
+    fn paired_pass(&self, lambda: f64, overhead: f64, mut next_draw: impl FnMut() -> Draw) -> f64 {
         let mut free_single = vec![0.0f64; self.servers];
         let mut free_double = vec![0.0f64; self.servers];
         let mut now = 0.0f64;
@@ -323,7 +332,7 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
             }
             if i >= self.warmup {
                 sum_single += done_single - now;
-                sum_double += (best - now) + self.overhead;
+                sum_double += (best - now) + overhead;
             }
         }
         let measured = (self.total - self.warmup) as f64;
@@ -337,22 +346,28 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
     /// Panics when the replicated system has no steady state (`2·rho ≥ 1`)
     /// or the load is not positive — the same guards [`crate::model::run`]
     /// enforces.
-    fn gain_at(&mut self, rho: f64, reps: usize, runner: &Runner) -> (f64, f64) {
+    fn gain_at(&mut self, rho: f64, reps: usize, overhead: f64, runner: &Runner) -> (f64, f64) {
         assert!(
             rho > 0.0 && 2.0 * rho < 1.0,
             "k*rho = {} >= 1 has no steady state",
             2.0 * rho
         );
         self.ensure(reps, runner);
-        let diffs = runner.run(reps, |r| self.paired_diff(r, rho));
+        let diffs = runner.run(reps, |r| self.paired_diff(r, rho, overhead));
         mean_and_se(&diffs)
     }
 
     /// Adaptive evaluation: widens the replication count (doubling, up to
     /// the cap) while the estimate is indecisive relative to its standard
-    /// error. Diffs are a pure function of `(replication, rho)`, so each
-    /// widening step only evaluates the *new* replications.
-    fn decisive_gain(&mut self, rho: f64, base_reps: usize, runner: &Runner) -> (f64, f64) {
+    /// error. Diffs are a pure function of `(replication, rho, overhead)`,
+    /// so each widening step only evaluates the *new* replications.
+    fn decisive_gain(
+        &mut self,
+        rho: f64,
+        base_reps: usize,
+        overhead: f64,
+        runner: &Runner,
+    ) -> (f64, f64) {
         assert!(
             rho > 0.0 && 2.0 * rho < 1.0,
             "k*rho = {} >= 1 has no steady state",
@@ -363,7 +378,7 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
         loop {
             self.ensure(reps, runner);
             let have = diffs.len();
-            diffs.extend(runner.run(reps - have, |j| self.paired_diff(have + j, rho)));
+            diffs.extend(runner.run(reps - have, |j| self.paired_diff(have + j, rho, overhead)));
             let (g, se) = mean_and_se(&diffs);
             if g.abs() >= 2.0 * se || reps >= self.max_replications {
                 return (g, se);
@@ -371,6 +386,43 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
             reps = (reps * 2).min(self.max_replications);
         }
     }
+}
+
+/// The bisection over one `CrnCache` at a fixed client overhead. Shared by
+/// [`threshold_load_on`] (one overhead) and [`overhead_thresholds_on`]
+/// (many overheads, one cache).
+fn bisect<D: Distribution + ?Sized>(
+    cache: &mut CrnCache<'_, D>,
+    overhead: f64,
+    opts: &ThresholdOptions,
+    runner: &Runner,
+) -> f64 {
+    let mut lo = 0.01f64;
+    let mut hi = 0.495f64;
+
+    // If replication already hurts at the lowest load we test, the
+    // threshold is effectively zero.
+    let (g_lo, se_lo) = cache.decisive_gain(lo, opts.replications, overhead, runner);
+    if g_lo > 2.0 * se_lo {
+        return 0.0;
+    }
+    // If replication still helps just under saturation, the threshold is at
+    // its ceiling.
+    let (g_hi, se_hi) = cache.decisive_gain(hi, opts.replications, overhead, runner);
+    if g_hi < -2.0 * se_hi {
+        return hi;
+    }
+
+    while hi - lo > opts.tolerance {
+        let mid = 0.5 * (lo + hi);
+        let (g, _se) = cache.decisive_gain(mid, opts.replications, overhead, runner);
+        if g < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 fn mean_and_se(diffs: &[f64]) -> (f64, f64) {
@@ -399,7 +451,7 @@ pub fn replication_gain_on<D: Distribution + Clone>(
     opts: &ThresholdOptions,
 ) -> (f64, f64) {
     let mut cache = CrnCache::new(dist, opts);
-    cache.gain_at(rho, opts.replications, runner)
+    cache.gain_at(rho, opts.replications, opts.replication_overhead, runner)
 }
 
 /// Finds the threshold load for 2-way replication of `dist`.
@@ -422,32 +474,42 @@ pub fn threshold_load_on<D: Distribution + Clone>(
     opts: &ThresholdOptions,
 ) -> f64 {
     let mut cache = CrnCache::new(dist, opts);
-    let mut lo = 0.01f64;
-    let mut hi = 0.495f64;
+    bisect(&mut cache, opts.replication_overhead, opts, runner)
+}
 
-    // If replication already hurts at the lowest load we test, the
-    // threshold is effectively zero.
-    let (g_lo, se_lo) = cache.decisive_gain(lo, opts.replications, runner);
-    if g_lo > 2.0 * se_lo {
-        return 0.0;
-    }
-    // If replication still helps just under saturation, the threshold is at
-    // its ceiling.
-    let (g_hi, se_hi) = cache.decisive_gain(hi, opts.replications, runner);
-    if g_hi < -2.0 * se_hi {
-        return hi;
-    }
+/// Threshold loads for several client overheads of **one** service
+/// distribution (the Fig 4 x-axis), sharing a single CRN cache across all
+/// points: the draws depend only on `(seed, replication index)`, never on
+/// the overhead, so rebuilding them per point — as calling
+/// [`threshold_load`] in a loop would — is pure waste. Each returned value
+/// is bit-identical to the per-point path (`threshold_load` with
+/// [`ThresholdOptions::with_overhead`]).
+///
+/// `opts.replication_overhead` is ignored; each element of `overheads` is
+/// used instead.
+pub fn overhead_thresholds<D: Distribution + Clone>(
+    dist: &D,
+    overheads: &[f64],
+    opts: &ThresholdOptions,
+) -> Vec<f64> {
+    overhead_thresholds_on(&Runner::global(), dist, overheads, opts)
+}
 
-    while hi - lo > opts.tolerance {
-        let mid = 0.5 * (lo + hi);
-        let (g, _se) = cache.decisive_gain(mid, opts.replications, runner);
-        if g < 0.0 {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    0.5 * (lo + hi)
+/// [`overhead_thresholds`] on an explicit [`Runner`]. Points run in
+/// sequence (they share the mutable cache); the replications inside each
+/// bisection step still fan out on the runner, and results are
+/// bit-identical at any thread count.
+pub fn overhead_thresholds_on<D: Distribution + Clone>(
+    runner: &Runner,
+    dist: &D,
+    overheads: &[f64],
+    opts: &ThresholdOptions,
+) -> Vec<f64> {
+    let mut cache = CrnCache::new(dist, opts);
+    overheads
+        .iter()
+        .map(|&o| bisect(&mut cache, o, opts, runner))
+        .collect()
 }
 
 #[cfg(test)]
@@ -560,8 +622,8 @@ mod tests {
         for r in 0..2 {
             for rho in [0.1, 0.3, 0.45] {
                 assert_eq!(
-                    cached.paired_diff(r, rho).to_bits(),
-                    streamed.paired_diff(r, rho).to_bits(),
+                    cached.paired_diff(r, rho, 0.0).to_bits(),
+                    streamed.paired_diff(r, rho, 0.0).to_bits(),
                     "r={r} rho={rho}"
                 );
             }
@@ -585,7 +647,7 @@ mod tests {
         cache.ensure(2, &Runner::serial());
         for r in 0..2 {
             for rho in [0.15, 0.3, 0.45] {
-                let g_cache = cache.paired_diff(r, rho);
+                let g_cache = cache.paired_diff(r, rho, 0.0);
                 let seed = cache.seeds[r];
                 let base = Config::new(dist, rho)
                     .with_servers(opts.servers)
@@ -596,6 +658,35 @@ mod tests {
                 assert!(
                     (g_cache - g_model).abs() <= 1e-9 * (1.0 + g_model.abs()),
                     "r={r} rho={rho}: cache {g_cache} vs model {g_model}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_family_bit_identical_to_per_point_path() {
+        // The shared-cache overhead sweep must reproduce, bit for bit, what
+        // a fresh threshold search per overhead point produces — the draws
+        // are a pure function of (seed, replication index), not of the
+        // overhead, so sharing the cache cannot change any result.
+        let mut opts = ThresholdOptions::fast();
+        opts.requests = 6_000;
+        opts.warmup = 600;
+        opts.replications = 3;
+        opts.max_replications = 6;
+        opts.tolerance = 0.02;
+        let dist = Exponential::unit();
+        let overheads = [0.0, 0.3, 1.0];
+        for threads in [1usize, 4] {
+            let runner = Runner::new(threads);
+            let shared = overhead_thresholds_on(&runner, &dist, &overheads, &opts);
+            for (i, &o) in overheads.iter().enumerate() {
+                let per_point =
+                    threshold_load_on(&runner, &dist, &opts.clone().with_overhead(o));
+                assert_eq!(
+                    shared[i].to_bits(),
+                    per_point.to_bits(),
+                    "overhead {o} diverged at {threads} threads"
                 );
             }
         }
@@ -613,7 +704,7 @@ mod tests {
         let dist = Exponential::unit();
         let mut cache = CrnCache::new(&dist, &opts);
         let runner = Runner::serial();
-        let (_g, _se) = cache.decisive_gain(1.0 / 3.0, opts.replications, &runner);
+        let (_g, _se) = cache.decisive_gain(1.0 / 3.0, opts.replications, 0.0, &runner);
         assert!(
             cache.cached.len() > opts.replications,
             "expected widening beyond {} replications, cached {}",

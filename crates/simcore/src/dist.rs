@@ -661,19 +661,32 @@ impl Mixture {
             })
             .sum()
     }
+
+    /// Selects the component for a uniform draw `u`. Cumulative-weight
+    /// rounding can leave `u` past every component; the fallback must then
+    /// pick the last *positive-weight* component — a trailing zero-weight
+    /// entry has probability zero and must never be sampled.
+    fn component_for(&self, mut u: f64) -> &DynDist {
+        for (w, d) in &self.components {
+            if u < *w {
+                return d;
+            }
+            u -= w;
+        }
+        &self
+            .components
+            .iter()
+            .rev()
+            .find(|(w, _)| *w > 0.0)
+            .expect("mixture has a positive-weight component")
+            .1
+    }
 }
 
 impl Distribution for Mixture {
     fn sample(&self, rng: &mut Rng) -> f64 {
-        let mut u = rng.f64();
-        for (w, d) in &self.components {
-            if u < *w {
-                return d.sample(rng);
-            }
-            u -= w;
-        }
-        // Floating-point slack: fall through to the last component.
-        self.components.last().unwrap().1.sample(rng)
+        let u = rng.f64();
+        self.component_for(u).sample(rng)
     }
     fn mean(&self) -> f64 {
         self.components.iter().map(|(w, d)| w * d.mean()).sum()
@@ -1093,6 +1106,31 @@ mod tests {
     fn mixture_weights_are_normalized() {
         let m = Mixture::of_two(2.0, Deterministic::new(1.0), 6.0, Deterministic::new(5.0));
         assert!((m.mean() - (0.25 * 1.0 + 0.75 * 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_fallback_skips_zero_weight_components() {
+        // Regression: with weights [1.0, 0.0], cumulative-weight rounding
+        // (u falling past every `u < w` test) used to land on the final,
+        // zero-weight component. The fallback must pick the last component
+        // with positive weight instead. `component_for(1.0)` exercises the
+        // fall-through branch directly (rng draws are < 1, but subtraction
+        // slack produces the same path).
+        let m = Mixture::of_two(1.0, Deterministic::new(7.0), 0.0, Deterministic::new(999.0));
+        let mut rng = Rng::seed_from(0x317);
+        let picked = m.component_for(1.0);
+        assert_eq!(picked.sample(&mut rng), 7.0, "fallback chose a zero-weight component");
+        // And ordinary sampling never emits the zero-weight value.
+        for _ in 0..50_000 {
+            assert_eq!(m.sample(&mut rng), 7.0);
+        }
+        // A zero-weight component in the middle is equally unreachable.
+        let m = Mixture::new(vec![
+            (0.5, Arc::new(Deterministic::new(1.0)) as DynDist),
+            (0.0, Arc::new(Deterministic::new(999.0)) as DynDist),
+            (0.5, Arc::new(Deterministic::new(2.0)) as DynDist),
+        ]);
+        assert_eq!(m.component_for(1.0).sample(&mut rng), 2.0);
     }
 
     #[test]

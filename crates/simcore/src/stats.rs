@@ -372,6 +372,37 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // q = 0 and q = 1 are the exact extremes, bit-for-bit.
+        let mut s: SampleSet = [5.0, -2.0, 11.0, 3.0].into_iter().collect();
+        assert_eq!(s.quantile(0.0), -2.0);
+        assert_eq!(s.quantile(1.0), 11.0);
+
+        // A single-element sample returns that element for every q.
+        let mut one: SampleSet = [42.5].into_iter().collect();
+        for q in [0.0, 0.3, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42.5);
+        }
+
+        // Interpolation exactly on an index boundary: for n = 5 the rank
+        // h = q·(n−1) is integral at q = 0.25 (h = 1) and q = 0.75 (h = 3),
+        // so the result must be the sorted element itself with zero
+        // interpolation residue.
+        let mut five: SampleSet = [10.0, 20.0, 30.0, 40.0, 50.0].into_iter().collect();
+        assert_eq!(five.quantile(0.25), 20.0);
+        assert_eq!(five.quantile(0.75), 40.0);
+        // And just off the boundary it interpolates linearly.
+        assert!((five.quantile(0.5 + 0.125) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_out_of_range_panics() {
+        let mut s: SampleSet = [1.0].into_iter().collect();
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
     fn tail_fraction_counts_strictly_greater() {
         let mut s: SampleSet = [1.0, 2.0, 2.0, 3.0].into_iter().collect();
         assert_eq!(s.tail_fraction(0.5), 1.0);

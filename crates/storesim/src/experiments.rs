@@ -13,6 +13,7 @@
 
 use crate::cluster::{self, ClusterConfig, FilePopulation, NetProfile};
 use crate::disk::DiskProfile;
+use crate::service::{self, ServiceConfig};
 use simcore::dist::{BoundedPareto, Deterministic, DynDist, Exponential, Mixture};
 use simcore::rng::Rng;
 use simcore::runner::Runner;
@@ -285,6 +286,115 @@ pub fn ccdf_at_load(
     )
 }
 
+/// One row of the service-layer load-ramp experiment: the planner's
+/// decision curve and the latency it bought, averaged over replications.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceRampRow {
+    /// Bucket-center offered baseline load.
+    pub load: f64,
+    /// Fraction of requests the front-end duplicated (k = 2).
+    pub frac_k2: f64,
+    /// Mean response time, seconds.
+    pub mean_response: f64,
+    /// 99th-percentile response time, seconds (mean over replications).
+    pub p99: f64,
+    /// Requests aggregated into this row.
+    pub requests: usize,
+}
+
+/// The service-layer load-ramp experiment's aggregate outcome.
+#[derive(Clone, Debug)]
+pub struct ServiceRampOutcome {
+    /// The decision/latency curve over the ramp.
+    pub rows: Vec<ServiceRampRow>,
+    /// Load at which the aggregated k = 2 fraction crosses ½.
+    pub switch_off: f64,
+    /// The offline §2.1 threshold for the configured workload.
+    pub offline_threshold: f64,
+    /// Copies cancelled per copy issued (0 with cancellation off).
+    pub cancel_fraction: f64,
+}
+
+/// Runs `replications` independent load-ramp simulations of the sharded
+/// service ([`crate::service`]) in parallel on the global [`Runner`] and
+/// aggregates the per-bucket decision and latency curves. Replication
+/// seeds are forked from `cfg.seed` by index, so the outcome is
+/// bit-identical at any thread count.
+///
+/// The headline number is `switch_off`: the offered load at which the
+/// planner's live per-request decision flips from k = 2 to k = 1, which
+/// §2.1 predicts lands on `offline_threshold`.
+pub fn run_service_ramp(cfg: &ServiceConfig, replications: usize) -> ServiceRampOutcome {
+    run_service_ramp_on(&Runner::global(), cfg, replications)
+}
+
+/// [`run_service_ramp`] on an explicit [`Runner`].
+pub fn run_service_ramp_on(
+    runner: &Runner,
+    cfg: &ServiceConfig,
+    replications: usize,
+) -> ServiceRampOutcome {
+    assert!(replications >= 1);
+    let mut root = Rng::seed_from(cfg.seed);
+    let seeds: Vec<u64> = (0..replications)
+        .map(|r| root.fork(r as u64).next_u64())
+        .collect();
+    let results = runner.run(replications, |r| {
+        let mut c = cfg.clone();
+        c.seed = seeds[r];
+        service::run(&c)
+    });
+
+    let buckets = results[0].buckets.len();
+    let mut rows = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let mut requests = 0usize;
+        let mut k2 = 0usize;
+        let mut weighted_mean = 0.0f64;
+        let mut p99_sum = 0.0f64;
+        let mut p99_n = 0usize;
+        for res in &results {
+            let bk = &res.buckets[b];
+            requests += bk.requests;
+            k2 += bk.k2_requests;
+            if bk.requests > 0 && bk.mean_response.is_finite() {
+                weighted_mean += bk.mean_response * bk.requests as f64;
+                p99_sum += bk.p99;
+                p99_n += 1;
+            }
+        }
+        rows.push(ServiceRampRow {
+            load: results[0].buckets[b].load,
+            frac_k2: if requests == 0 {
+                f64::NAN
+            } else {
+                k2 as f64 / requests as f64
+            },
+            mean_response: if requests == 0 {
+                f64::NAN
+            } else {
+                weighted_mean / requests as f64
+            },
+            p99: if p99_n == 0 {
+                f64::NAN
+            } else {
+                p99_sum / p99_n as f64
+            },
+            requests,
+        });
+    }
+
+    let curve: Vec<(f64, f64)> = rows.iter().map(|r| (r.load, r.frac_k2)).collect();
+    let issued: u64 = results.iter().map(|r| r.copies_issued).sum();
+    let cancelled: u64 = results.iter().map(|r| r.copies_cancelled).sum();
+    ServiceRampOutcome {
+        switch_off: service::switch_off_load(&curve),
+        offline_threshold: results[0].planner_threshold,
+        cancel_fraction: cancelled as f64 / issued.max(1) as f64,
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +472,32 @@ mod tests {
         );
         // And the whole thing is sub-millisecond, unlike the disk figures.
         assert!(r.mean_single < 1.5e-3, "{r:?}");
+    }
+
+    #[test]
+    fn service_ramp_switch_off_in_band_and_thread_invariant() {
+        let mut cfg = ServiceConfig::ramp(Arc::new(Exponential::with_mean(1.0e-3)), 0.05, 0.6);
+        cfg.requests = 30_000;
+        cfg.warmup = 3_000;
+        if let crate::service::Frontend::Adaptive { window } = &mut cfg.frontend {
+            *window = 768;
+        }
+        // The aggregate switch-off must land on the offline threshold, and
+        // the whole outcome must be bit-identical at 1 and 8 threads.
+        let serial = run_service_ramp_on(&Runner::serial(), &cfg, 3);
+        let parallel = run_service_ramp_on(&Runner::new(8), &cfg, 3);
+        assert!(
+            (serial.switch_off - serial.offline_threshold).abs() < 0.05,
+            "switch-off {} vs threshold {}",
+            serial.switch_off,
+            serial.offline_threshold
+        );
+        assert_eq!(serial.switch_off.to_bits(), parallel.switch_off.to_bits());
+        for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(a.frac_k2.to_bits(), b.frac_k2.to_bits());
+            assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+            assert_eq!(a.p99.to_bits(), b.p99.to_bits());
+        }
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   CPU cost), and the event loop connecting them;
 //! * [`memcached`] — the §2.3 in-memory variant, including the *stub* mode
 //!   the paper uses to isolate client-side overhead (Fig 13);
-//! * [`experiments`] — one named configuration per figure (5 through 13).
+//! * [`service`] — the **online** variant: a sharded service whose
+//!   front-end consults the `redundancy` planner *per request*, adapting
+//!   the replication factor live as a windowed load estimate crosses the
+//!   §2.1 threshold, with loser cancellation over FIFO or PS servers;
+//! * [`experiments`] — one named configuration per figure (5 through 13),
+//!   plus the service-layer load-ramp experiment.
 //!
 //! What carries over from the paper's hardware: the *ratios* that drive
 //! behaviour (cache:disk ratio, file size vs transfer rates, fixed client
@@ -36,6 +41,8 @@ pub mod experiments;
 pub mod hashring;
 pub mod lru;
 pub mod memcached;
+pub mod service;
 
 pub use cluster::{ClusterConfig, ClusterResult};
 pub use experiments::{run_load_sweep, ExperimentSpec, LoadSweepRow};
+pub use service::{ServiceConfig, ServiceResult};

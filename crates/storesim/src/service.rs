@@ -1,0 +1,936 @@
+//! A sharded storage service whose replication factor is chosen **live**,
+//! per request, by the planner — the paper's §2 decision rule running as
+//! an online control loop instead of an offline sweep.
+//!
+//! The §2.2/§2.3 batch simulators ([`crate::cluster`], [`crate::memcached`])
+//! fix the replication factor for a whole run; the paper's own analysis
+//! (§2.1) and the follow-on literature (Joshi et al.'s redundancy-d
+//! systems, Shah et al.'s "when do redundant requests reduce latency?")
+//! ask the *online* question: given shifting load, when should the next
+//! request be duplicated? This module answers it end-to-end:
+//!
+//! * **Shards** — `shards` keys placed on `servers` via the same
+//!   consistent-hash ring as the batch store ([`crate::hashring`]), with
+//!   `stored_replicas`-way placement (the paper's n, n+1, … rule).
+//! * **Servers** — per-server queues on the [`simcore::event`] engine,
+//!   FIFO (one request in service, queue behind it) or PS (processor
+//!   sharing, all resident requests served at rate 1/n — the egalitarian
+//!   model of the redundancy literature).
+//! * **Front-end** — consults [`redundancy`]'s stack per request: a
+//!   [`Policy`] (fixed `Single`/`Always`/`Hedged`) or the **adaptive**
+//!   mode, where a windowed arrival-rate estimator
+//!   ([`RateEstimator`]) feeds the live utilization into the
+//!   [`Planner`]'s §2.1 threshold and the request is duplicated exactly
+//!   when the estimated load is below it.
+//! * **Cancellation** — on the first response, the request's
+//!   [`CancelToken`] is cancelled and cancel messages race (one
+//!   propagation delay) to the losing servers, which purge every copy the
+//!   token marks: queued copies under FIFO (an in-service read cannot be
+//!   un-seeked), queued *and* in-service copies under PS (a shared
+//!   connection can be closed mid-transfer).
+//!
+//! A run drives an open-loop Poisson stream whose offered baseline load
+//! ramps linearly from [`ServiceConfig::load_start`] to
+//! [`ServiceConfig::load_end`] across the measured window, so one
+//! simulation sweeps the whole load axis and the planner's switch-off
+//! point is directly observable: the load at which the fraction of
+//! requests issued with k = 2 crosses ½ ([`switch_off_load`]) should land
+//! on the offline §2.1 threshold.
+//!
+//! Everything is bit-reproducible from the seed; replications fan out on
+//! [`simcore::runner`] in [`crate::experiments::run_service_ramp`].
+
+use crate::hashring::HashRing;
+use redundancy::cancel::CancelToken;
+use redundancy::estimator::RateEstimator;
+use redundancy::planner::{Planner, WorkloadProfile};
+use redundancy::policy::Policy;
+use simcore::dist::{Distribution, DynDist};
+use simcore::event::EventQueue;
+use simcore::rng::Rng;
+use simcore::stats::SampleSet;
+use simcore::time::SimTime;
+use std::collections::VecDeque;
+
+/// Queueing discipline at each server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// First-in-first-out: one copy in service, the rest queued behind it.
+    Fifo,
+    /// Processor sharing: all resident copies progress at rate 1/n.
+    Ps,
+}
+
+/// How the front-end picks the replication factor of each request.
+#[derive(Clone, Debug)]
+pub enum Frontend {
+    /// A fixed [`Policy`] for every request (the batch simulators' mode).
+    Fixed(Policy),
+    /// Planner-driven: duplicate to 2 copies exactly while the estimated
+    /// baseline utilization sits below the workload's §2.1 threshold.
+    Adaptive {
+        /// Window of the arrival-rate estimator, in inter-arrival gaps.
+        window: usize,
+    },
+}
+
+/// Full configuration of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Storage servers.
+    pub servers: usize,
+    /// Key shards placed on the ring.
+    pub shards: usize,
+    /// Stored copies per shard (placement; the query-time k can only pick
+    /// among these).
+    pub stored_replicas: usize,
+    /// Virtual nodes per server on the hash ring.
+    pub vnodes: usize,
+    /// Per-server queueing discipline.
+    pub discipline: Discipline,
+    /// Service-time distribution of one copy at one server.
+    pub service: DynDist,
+    /// Replication decision mode.
+    pub frontend: Frontend,
+    /// Cancel losing copies once the first response arrives.
+    pub cancellation: bool,
+    /// One-way propagation delay between clients and servers, seconds.
+    pub propagation: f64,
+    /// Client-side latency cost per *extra issued copy* (added to the
+    /// response time, and fed to the planner as its §2.3 overhead).
+    pub client_overhead: f64,
+    /// Offered baseline (k = 1) per-server utilization at the start of the
+    /// measured window (warm-up runs entirely at this load).
+    pub load_start: f64,
+    /// Offered baseline utilization at the end of the measured window.
+    pub load_end: f64,
+    /// Ramp buckets for the reported decision/latency curves.
+    pub buckets: usize,
+    /// Measured requests.
+    pub requests: usize,
+    /// Warm-up requests (run at `load_start`).
+    pub warmup: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// An adaptive load-ramp configuration with figure-sized defaults:
+    /// 8 servers, 1024 shards stored 2-way, FIFO service, cancellation off
+    /// (the §2.1 model the planner's threshold is derived from does not
+    /// cancel).
+    pub fn ramp(service: DynDist, load_start: f64, load_end: f64) -> Self {
+        ServiceConfig {
+            servers: 8,
+            shards: 1024,
+            stored_replicas: 2,
+            vnodes: 64,
+            discipline: Discipline::Fifo,
+            service,
+            frontend: Frontend::Adaptive { window: 2048 },
+            cancellation: false,
+            propagation: 50.0e-6,
+            client_overhead: 0.0,
+            load_start,
+            load_end,
+            buckets: 22,
+            requests: 120_000,
+            warmup: 12_000,
+            seed: 0x5E81CE,
+        }
+    }
+
+    /// The planner for this workload (mean/scv from the service
+    /// distribution, overhead from the config).
+    pub fn planner(&self) -> Planner {
+        Planner::new(WorkloadProfile {
+            mean_service: self.service.mean(),
+            scv: self.service.scv(),
+            client_overhead: self.client_overhead,
+        })
+    }
+
+    /// Offered baseline load of request `i` (warm-up requests all run at
+    /// `load_start`; the ramp spans the measured portion).
+    fn offered(&self, i: usize) -> f64 {
+        if i < self.warmup || self.requests <= 1 {
+            self.load_start
+        } else {
+            let frac = (i - self.warmup) as f64 / (self.requests - 1) as f64;
+            self.load_start + (self.load_end - self.load_start) * frac
+        }
+    }
+}
+
+/// One bucket of the load ramp.
+#[derive(Clone, Copy, Debug)]
+pub struct RampBucket {
+    /// Bucket-center offered baseline load.
+    pub load: f64,
+    /// Measured requests issued in this bucket.
+    pub requests: usize,
+    /// Of those, how many actually had a second copy dispatched (for
+    /// hedged policies this counts fired hedges, not the arrival-time
+    /// intent).
+    pub k2_requests: usize,
+    /// Mean response time, seconds (NaN when empty).
+    pub mean_response: f64,
+    /// 99th-percentile response time, seconds (NaN when empty).
+    pub p99: f64,
+}
+
+impl RampBucket {
+    /// Fraction of the bucket's requests issued with 2 copies (NaN when
+    /// empty).
+    pub fn frac_k2(&self) -> f64 {
+        if self.requests == 0 {
+            f64::NAN
+        } else {
+            self.k2_requests as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Everything one service run measures.
+#[derive(Debug)]
+pub struct ServiceResult {
+    /// Per-request response times (first copy wins, plus per-extra-copy
+    /// client overhead), seconds.
+    pub response: SampleSet,
+    /// Decision and latency curves over the offered-load ramp.
+    pub buckets: Vec<RampBucket>,
+    /// Load at which the k = 2 fraction crosses ½ (NaN if it never does).
+    pub switch_off: f64,
+    /// The offline §2.1 threshold the planner computed for this workload.
+    pub planner_threshold: f64,
+    /// Copies dispatched to servers (includes warm-up).
+    pub copies_issued: u64,
+    /// Copies purged by cancellation before completing service.
+    pub copies_cancelled: u64,
+    /// Mean per-server busy fraction over the whole run.
+    pub mean_utilization: f64,
+    /// Measured requests completed (must equal `requests`).
+    pub completed: usize,
+}
+
+/// Interpolated load at which a `(load, frac_k2)` curve (ascending loads)
+/// last crosses from ≥ ½ to < ½ — the planner's observable switch-off
+/// point. Returns NaN when the curve never crosses (e.g. a fixed policy,
+/// or a ramp entirely on one side of the threshold). Empty buckets (NaN
+/// fractions) are skipped.
+pub fn switch_off_load(points: &[(f64, f64)]) -> f64 {
+    let mut crossing = f64::NAN;
+    let mut prev: Option<(f64, f64)> = None;
+    for &(load, frac) in points {
+        if frac.is_nan() {
+            continue;
+        }
+        if let Some((l0, f0)) = prev {
+            if f0 >= 0.5 && frac < 0.5 {
+                crossing = l0 + (load - l0) * (f0 - 0.5) / (f0 - frac);
+            }
+        }
+        prev = Some((load, frac));
+    }
+    crossing
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A request enters the front-end.
+    Arrive { req: u32 },
+    /// A copy reaches its server.
+    CopyArrive { req: u32, server: u16 },
+    /// The hedging delay of a [`Policy::Hedged`] request elapsed.
+    HedgeFire { req: u32 },
+    /// The in-service FIFO copy at `server` completes.
+    FifoDepart { server: u16 },
+    /// The PS job set at `server` may have drained its minimum; stale
+    /// epochs are ignored (lazy deletion).
+    PsDepart { server: u16, epoch: u32 },
+    /// A server's response reaches the client.
+    Response { req: u32, server: u16 },
+    /// The front-end's cancel message reaches `server`.
+    CancelMsg { server: u16 },
+}
+
+struct ReqState {
+    arrival: f64,
+    offered: f64,
+    /// Chosen targets, dispatch order (hedge copies are the tail).
+    targets: Vec<u16>,
+    /// Copies dispatched so far.
+    sent: u8,
+    done: bool,
+    token: CancelToken,
+}
+
+struct FifoServer {
+    queue: VecDeque<(u32, f64)>,
+    /// Request id of the copy in service, if any.
+    in_service: Option<u32>,
+    busy: f64,
+}
+
+struct PsJob {
+    req: u32,
+    remaining: f64,
+}
+
+struct PsServer {
+    jobs: Vec<PsJob>,
+    last: f64,
+    epoch: u32,
+    busy: f64,
+}
+
+impl PsServer {
+    /// Advances the shared-progress clock to `now`.
+    fn advance(&mut self, now: f64) {
+        let elapsed = now - self.last;
+        if elapsed > 0.0 && !self.jobs.is_empty() {
+            let share = elapsed / self.jobs.len() as f64;
+            for j in &mut self.jobs {
+                j.remaining -= share;
+            }
+            self.busy += elapsed;
+        }
+        self.last = now;
+    }
+
+    /// Next departure instant for the current job set, if any.
+    fn next_departure(&self, now: f64) -> Option<f64> {
+        let min = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            Some(now + min.max(0.0) * self.jobs.len() as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs the service simulation.
+///
+/// # Panics
+/// Panics on inconsistent configuration: no servers/shards/requests, more
+/// stored replicas than servers, a fixed policy issuing more copies than
+/// stored replicas, loads outside `[0, 1)`, or an offered load that
+/// saturates the cluster (`max_copies × load_end ≥ 1` for fixed policies;
+/// `2 × load_start ≥ 1` for the adaptive mode, which replicates only below
+/// the sub-½ threshold).
+pub fn run(cfg: &ServiceConfig) -> ServiceResult {
+    assert!(cfg.servers > 0 && cfg.shards > 0 && cfg.requests > 0);
+    assert!(
+        cfg.stored_replicas >= 1 && cfg.stored_replicas <= cfg.servers,
+        "cannot store {} replicas on {} servers",
+        cfg.stored_replicas,
+        cfg.servers
+    );
+    assert!(
+        (0.0..1.0).contains(&cfg.load_start) && (0.0..1.0).contains(&cfg.load_end),
+        "loads must be in [0,1)"
+    );
+    assert!(
+        cfg.load_start > 0.0 && cfg.load_end > 0.0,
+        "zero load generates no arrivals"
+    );
+    assert!(cfg.buckets >= 1);
+    // Event/bookkeeping ids are u16 (servers) and u8 (copies per request).
+    assert!(cfg.servers <= u16::MAX as usize, "too many servers");
+    assert!(cfg.stored_replicas <= u8::MAX as usize, "too many stored replicas");
+    let max_load = cfg.load_start.max(cfg.load_end);
+    match &cfg.frontend {
+        Frontend::Fixed(policy) => {
+            policy.validate().expect("invalid fixed policy");
+            assert!(
+                policy.max_copies() <= cfg.stored_replicas,
+                "policy wants {} copies but only {} are stored",
+                policy.max_copies(),
+                cfg.stored_replicas
+            );
+            assert!(
+                policy.max_copies() as f64 * max_load < 1.0,
+                "fixed policy saturates: k*load = {}",
+                policy.max_copies() as f64 * max_load
+            );
+        }
+        Frontend::Adaptive { .. } => {
+            assert!(
+                cfg.stored_replicas >= 2,
+                "adaptive mode needs at least 2 stored replicas"
+            );
+            assert!(
+                2.0 * cfg.load_start < 1.0,
+                "adaptive ramp starts saturated: 2*load_start = {}",
+                2.0 * cfg.load_start
+            );
+        }
+    }
+
+    let mean_service = cfg.service.mean();
+    assert!(mean_service.is_finite() && mean_service > 0.0);
+    let planner = cfg.planner();
+    let threshold = planner.threshold_load();
+
+    let mut root = Rng::seed_from(cfg.seed);
+    let mut arrival_rng = root.fork(1);
+    let mut place_rng = root.fork(2);
+    let mut svc_rng = root.fork(3);
+
+    let ring = HashRing::new(cfg.servers, cfg.vnodes);
+    let total = cfg.warmup + cfg.requests;
+
+    let mut estimator = match cfg.frontend {
+        Frontend::Adaptive { window } => Some(RateEstimator::new(window)),
+        Frontend::Fixed(_) => None,
+    };
+
+    let mut fifo: Vec<FifoServer> = Vec::new();
+    let mut ps: Vec<PsServer> = Vec::new();
+    match cfg.discipline {
+        Discipline::Fifo => {
+            fifo = (0..cfg.servers)
+                .map(|_| FifoServer {
+                    queue: VecDeque::new(),
+                    in_service: None,
+                    busy: 0.0,
+                })
+                .collect();
+        }
+        Discipline::Ps => {
+            ps = (0..cfg.servers)
+                .map(|_| PsServer {
+                    jobs: Vec::new(),
+                    last: 0.0,
+                    epoch: 0,
+                    busy: 0.0,
+                })
+                .collect();
+        }
+    }
+
+    let mut reqs: Vec<ReqState> = Vec::with_capacity(total);
+    let mut response = SampleSet::with_capacity(cfg.requests);
+    // Per-bucket accumulation (measured requests only).
+    let span = cfg.load_end - cfg.load_start;
+    let bucket_of = |offered: f64| -> usize {
+        if span.abs() < f64::EPSILON {
+            0
+        } else {
+            (((offered - cfg.load_start) / span) * cfg.buckets as f64)
+                .floor()
+                .clamp(0.0, (cfg.buckets - 1) as f64) as usize
+        }
+    };
+    let mut bucket_samples: Vec<SampleSet> = (0..cfg.buckets).map(|_| SampleSet::new()).collect();
+    let mut bucket_reqs = vec![0usize; cfg.buckets];
+    let mut bucket_k2 = vec![0usize; cfg.buckets];
+
+    let mut copies_issued = 0u64;
+    let mut copies_cancelled = 0u64;
+    let mut completed = 0usize;
+    let mut end_time = 0.0f64;
+
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity(4 * 1024);
+
+    // --- per-discipline helpers, as macros so they can borrow locals ---
+    macro_rules! fifo_start_next {
+        ($s:expr, $now:expr) => {{
+            let srv = &mut fifo[$s];
+            if let Some((req, svc)) = srv.queue.pop_front() {
+                srv.in_service = Some(req);
+                srv.busy += svc;
+                q.push(
+                    SimTime::from_secs($now + svc),
+                    Ev::FifoDepart { server: $s as u16 },
+                );
+            } else {
+                srv.in_service = None;
+            }
+        }};
+    }
+    macro_rules! ps_reschedule {
+        ($s:expr, $now:expr) => {{
+            let srv = &mut ps[$s];
+            srv.epoch = srv.epoch.wrapping_add(1);
+            if let Some(at) = srv.next_departure($now) {
+                q.push(
+                    SimTime::from_secs(at),
+                    Ev::PsDepart {
+                        server: $s as u16,
+                        epoch: srv.epoch,
+                    },
+                );
+            }
+        }};
+    }
+    macro_rules! dispatch_copies {
+        ($req:expr, $now:expr, $from:expr, $to:expr) => {{
+            let state = &mut reqs[$req as usize];
+            for &server in &state.targets[$from..$to] {
+                copies_issued += 1;
+                q.push(
+                    SimTime::from_secs($now + cfg.propagation),
+                    Ev::CopyArrive { req: $req, server },
+                );
+            }
+            // A request counts as duplicated when a second copy is
+            // *actually dispatched* — for hedged policies that is only
+            // when the hedge fires, not at the arrival decision.
+            if $from < 2 && $to >= 2 && ($req as usize) >= cfg.warmup {
+                bucket_k2[bucket_of(state.offered)] += 1;
+            }
+            state.sent = $to as u8;
+        }};
+    }
+
+    let lambda_of = |offered: f64| offered * cfg.servers as f64 / mean_service;
+    q.push(
+        SimTime::from_secs(arrival_rng.exponential(lambda_of(cfg.offered(0)))),
+        Ev::Arrive { req: 0 },
+    );
+
+    while let Some((now, ev)) = q.pop() {
+        let t = now.as_secs();
+        end_time = t;
+        match ev {
+            Ev::Arrive { req } => {
+                let i = req as usize;
+                let offered = cfg.offered(i);
+
+                // Per-request consultation of the redundancy stack.
+                let (copies, hedge_after) = match &cfg.frontend {
+                    Frontend::Fixed(policy) => match *policy {
+                        Policy::Single => (1usize, None),
+                        Policy::Always { copies } => (copies, None),
+                        Policy::Hedged { copies, after } => (copies, Some(after.as_secs_f64())),
+                    },
+                    Frontend::Adaptive { .. } => {
+                        let est = estimator.as_mut().expect("adaptive estimator");
+                        est.observe_arrival(t);
+                        // The planner's advice at the live estimate: its
+                        // threshold is precomputed (it depends only on the
+                        // workload profile), so the per-request decision is
+                        // the threshold comparison `advise` would perform.
+                        let rho = if est.is_warm() {
+                            est.utilization(mean_service, cfg.servers)
+                        } else {
+                            cfg.load_start
+                        };
+                        (if rho < threshold { 2 } else { 1 }, None)
+                    }
+                };
+
+                // Shard placement: stored replicas via the ring, then the
+                // query-time copies among them (k = 1 load-balances).
+                let shard = place_rng.index(cfg.shards) as u64;
+                let stored = ring.replicas(shard, cfg.stored_replicas);
+                let k = copies.min(stored.len());
+                let targets: Vec<u16> = if k == stored.len() {
+                    stored.iter().map(|&s| s as u16).collect()
+                } else {
+                    let mut order: Vec<usize> = (0..stored.len()).collect();
+                    place_rng.shuffle(&mut order);
+                    order[..k].iter().map(|&j| stored[j] as u16).collect()
+                };
+
+                reqs.push(ReqState {
+                    arrival: t,
+                    offered,
+                    targets,
+                    sent: 0,
+                    done: false,
+                    token: CancelToken::new(),
+                });
+                debug_assert_eq!(reqs.len() - 1, i);
+
+                if i >= cfg.warmup {
+                    bucket_reqs[bucket_of(offered)] += 1;
+                }
+
+                match hedge_after {
+                    Some(after) => {
+                        // Primary now; siblings only if the hedge fires.
+                        dispatch_copies!(req, t, 0, 1);
+                        q.push(SimTime::from_secs(t + after), Ev::HedgeFire { req });
+                    }
+                    None => {
+                        let k = reqs[i].targets.len();
+                        dispatch_copies!(req, t, 0, k);
+                    }
+                }
+
+                if i + 1 < total {
+                    let lambda = lambda_of(cfg.offered(i + 1));
+                    q.push_after(
+                        SimTime::from_secs(arrival_rng.exponential(lambda)),
+                        Ev::Arrive { req: req + 1 },
+                    );
+                }
+            }
+            Ev::HedgeFire { req } => {
+                let state = &reqs[req as usize];
+                if !state.done {
+                    let (from, to) = (state.sent as usize, state.targets.len());
+                    dispatch_copies!(req, t, from, to);
+                }
+            }
+            Ev::CopyArrive { req, server } => {
+                let s = server as usize;
+                let svc = cfg.service.sample(&mut svc_rng);
+                match cfg.discipline {
+                    Discipline::Fifo => {
+                        let srv = &mut fifo[s];
+                        srv.queue.push_back((req, svc));
+                        if srv.in_service.is_none() {
+                            fifo_start_next!(s, t);
+                        }
+                    }
+                    Discipline::Ps => {
+                        ps[s].advance(t);
+                        ps[s].jobs.push(PsJob {
+                            req,
+                            remaining: svc,
+                        });
+                        ps_reschedule!(s, t);
+                    }
+                }
+            }
+            Ev::FifoDepart { server } => {
+                let s = server as usize;
+                let req = fifo[s].in_service.take().expect("depart with idle server");
+                q.push(
+                    SimTime::from_secs(t + cfg.propagation),
+                    Ev::Response { req, server },
+                );
+                fifo_start_next!(s, t);
+            }
+            Ev::PsDepart { server, epoch } => {
+                let s = server as usize;
+                if ps[s].epoch != epoch {
+                    continue; // stale schedule
+                }
+                ps[s].advance(t);
+                // Depart the minimum-remaining job (deterministic
+                // tie-break: lowest index).
+                let Some(idx) = ps[s]
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
+                    .map(|(i, _)| i)
+                else {
+                    continue;
+                };
+                let job = ps[s].jobs.remove(idx);
+                q.push(
+                    SimTime::from_secs(t + cfg.propagation),
+                    Ev::Response {
+                        req: job.req,
+                        server,
+                    },
+                );
+                ps_reschedule!(s, t);
+            }
+            Ev::Response { req, server } => {
+                let i = req as usize;
+                let state = &mut reqs[i];
+                if state.done {
+                    continue;
+                }
+                state.done = true;
+                let extra = (state.sent as f64 - 1.0).max(0.0) * cfg.client_overhead;
+                let rt = (t - state.arrival) + extra;
+                if i >= cfg.warmup {
+                    response.push(rt);
+                    bucket_samples[bucket_of(state.offered)].push(rt);
+                    completed += 1;
+                }
+                if cfg.cancellation && (state.sent as usize) > 1 {
+                    state.token.cancel();
+                    for &other in state.targets[..state.sent as usize].iter() {
+                        if other != server {
+                            q.push(
+                                SimTime::from_secs(t + cfg.propagation),
+                                Ev::CancelMsg { server: other },
+                            );
+                        }
+                    }
+                }
+            }
+            Ev::CancelMsg { server } => {
+                let s = server as usize;
+                match cfg.discipline {
+                    Discipline::Fifo => {
+                        // Purge queued copies whose token is cancelled; the
+                        // in-service copy runs to completion (a disk read
+                        // cannot be withdrawn mid-seek).
+                        let before = fifo[s].queue.len();
+                        fifo[s]
+                            .queue
+                            .retain(|&(r, _)| !reqs[r as usize].token.is_cancelled());
+                        copies_cancelled += (before - fifo[s].queue.len()) as u64;
+                    }
+                    Discipline::Ps => {
+                        // PS can drop in-progress work too: closing the
+                        // shared connection frees the server's share.
+                        ps[s].advance(t);
+                        let before = ps[s].jobs.len();
+                        ps[s]
+                            .jobs
+                            .retain(|j| !reqs[j.req as usize].token.is_cancelled());
+                        if ps[s].jobs.len() != before {
+                            copies_cancelled += (before - ps[s].jobs.len()) as u64;
+                            ps_reschedule!(s, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let busy: f64 = match cfg.discipline {
+        Discipline::Fifo => fifo.iter().map(|s| s.busy).sum(),
+        Discipline::Ps => ps.iter().map(|s| s.busy).sum(),
+    };
+
+    let buckets: Vec<RampBucket> = (0..cfg.buckets)
+        .map(|b| {
+            let width = if span.abs() < f64::EPSILON {
+                0.0
+            } else {
+                span / cfg.buckets as f64
+            };
+            let load = cfg.load_start + width * (b as f64 + 0.5);
+            let samples = &mut bucket_samples[b];
+            let (mean_response, p99) = if samples.is_empty() {
+                (f64::NAN, f64::NAN)
+            } else {
+                (samples.mean(), samples.quantile(0.99))
+            };
+            RampBucket {
+                load,
+                requests: bucket_reqs[b],
+                k2_requests: bucket_k2[b],
+                mean_response,
+                p99,
+            }
+        })
+        .collect();
+
+    let curve: Vec<(f64, f64)> = buckets.iter().map(|b| (b.load, b.frac_k2())).collect();
+
+    ServiceResult {
+        response,
+        switch_off: switch_off_load(&curve),
+        planner_threshold: threshold,
+        buckets,
+        copies_issued,
+        copies_cancelled,
+        mean_utilization: busy / (cfg.servers as f64 * end_time.max(f64::MIN_POSITIVE)),
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::dist::Exponential;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn exp_service() -> DynDist {
+        Arc::new(Exponential::with_mean(1.0e-3))
+    }
+
+    fn flat(policy: Policy, load: f64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::ramp(exp_service(), load, load);
+        cfg.frontend = Frontend::Fixed(policy);
+        cfg.requests = 20_000;
+        cfg.warmup = 2_000;
+        cfg.buckets = 1;
+        cfg
+    }
+
+    #[test]
+    fn all_requests_complete_and_copies_counted() {
+        let cfg = flat(Policy::Single, 0.3);
+        let out = run(&cfg);
+        assert_eq!(out.completed, cfg.requests);
+        assert_eq!(out.copies_issued, (cfg.requests + cfg.warmup) as u64);
+        assert!(out.switch_off.is_nan(), "fixed policy never switches");
+        let two = run(&flat(Policy::Always { copies: 2 }, 0.2));
+        assert_eq!(two.completed, 20_000);
+        assert_eq!(two.copies_issued, 2 * 22_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ServiceConfig::ramp(exp_service(), 0.1, 0.5);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.response.mean().to_bits(), b.response.mean().to_bits());
+        assert_eq!(a.switch_off.to_bits(), b.switch_off.to_bits());
+        assert_eq!(a.copies_issued, b.copies_issued);
+    }
+
+    #[test]
+    fn utilization_tracks_flat_load() {
+        let out = run(&flat(Policy::Single, 0.3));
+        assert!(
+            (out.mean_utilization - 0.3).abs() < 0.05,
+            "util {}",
+            out.mean_utilization
+        );
+        // Always-2 doubles the busy time.
+        let two = run(&flat(Policy::Always { copies: 2 }, 0.3));
+        assert!(
+            (two.mean_utilization - 0.6).abs() < 0.07,
+            "util {}",
+            two.mean_utilization
+        );
+    }
+
+    #[test]
+    fn fifo_flat_mean_matches_mm1() {
+        // Single copies over the ring at flat load: each server is M/M/1
+        // at rho, so E[R] = E[S]/(1-rho) plus two propagation hops.
+        let cfg = flat(Policy::Single, 0.4);
+        let out = run(&cfg);
+        let expect = 1.0e-3 / (1.0 - 0.4) + 2.0 * cfg.propagation;
+        let got = out.response.mean();
+        assert!(
+            (got - expect).abs() / expect < 0.08,
+            "mean {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn ps_flat_mean_matches_mm1_ps() {
+        // M/M/1-PS has the same mean response as FIFO at equal load.
+        let mut cfg = flat(Policy::Single, 0.4);
+        cfg.discipline = Discipline::Ps;
+        let out = run(&cfg);
+        assert_eq!(out.completed, cfg.requests);
+        let expect = 1.0e-3 / (1.0 - 0.4) + 2.0 * cfg.propagation;
+        let got = out.response.mean();
+        assert!(
+            (got - expect).abs() / expect < 0.10,
+            "PS mean {got} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn replication_helps_at_low_load_and_hurts_at_high() {
+        let single_low = run(&flat(Policy::Single, 0.15)).response.mean();
+        let double_low = run(&flat(Policy::Always { copies: 2 }, 0.15)).response.mean();
+        assert!(double_low < single_low, "{double_low} vs {single_low}");
+        let single_high = run(&flat(Policy::Single, 0.45)).response.mean();
+        let double_high = run(&flat(Policy::Always { copies: 2 }, 0.45)).response.mean();
+        assert!(double_high > single_high, "{double_high} vs {single_high}");
+    }
+
+    #[test]
+    fn cancellation_sheds_load() {
+        let mut plain = flat(Policy::Always { copies: 2 }, 0.35);
+        let mut tied = plain.clone();
+        tied.cancellation = true;
+        plain.seed = 77;
+        tied.seed = 77;
+        let p = run(&plain);
+        let t = run(&tied);
+        assert_eq!(p.copies_cancelled, 0);
+        assert!(t.copies_cancelled > 0, "no copies cancelled");
+        assert!(
+            t.mean_utilization < p.mean_utilization - 0.02,
+            "cancellation should shed load: {} vs {}",
+            t.mean_utilization,
+            p.mean_utilization
+        );
+        assert!(
+            t.response.mean() < p.response.mean(),
+            "cancellation should help latency"
+        );
+    }
+
+    #[test]
+    fn hedged_policy_pays_only_in_the_tail() {
+        let mut cfg = flat(
+            Policy::Hedged {
+                copies: 2,
+                after: Duration::from_micros(5_000), // 5x the mean service
+            },
+            0.2,
+        );
+        cfg.cancellation = true;
+        let out = run(&cfg);
+        assert_eq!(out.completed, cfg.requests);
+        let total = (cfg.requests + cfg.warmup) as u64;
+        assert!(out.copies_issued > total, "some hedges must fire");
+        assert!(
+            out.copies_issued < (total as f64 * 1.15) as u64,
+            "hedge fired too often: {} of {total}",
+            out.copies_issued
+        );
+        // k2 counts *fired* hedges, not arrival-time intent.
+        let frac = out.buckets[0].frac_k2();
+        assert!(
+            frac > 0.0 && frac < 0.15,
+            "hedged frac_k2 should be the fired fraction: {frac}"
+        );
+    }
+
+    #[test]
+    fn adaptive_switch_off_lands_on_the_offline_threshold() {
+        // The acceptance shape: one ramp, exponential workload, the k=2
+        // fraction must cross 1/2 within +-0.05 of the planner's offline
+        // threshold (~1/3 for exponential service, zero overhead).
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.05, 0.6);
+        cfg.requests = 60_000;
+        cfg.warmup = 6_000;
+        if let Frontend::Adaptive { window } = &mut cfg.frontend {
+            *window = 1024;
+        }
+        let out = run(&cfg);
+        assert!(
+            (out.planner_threshold - 1.0 / 3.0).abs() < 0.01,
+            "offline threshold {}",
+            out.planner_threshold
+        );
+        assert!(
+            (out.switch_off - out.planner_threshold).abs() < 0.05,
+            "switch-off {} vs threshold {}",
+            out.switch_off,
+            out.planner_threshold
+        );
+        // Low-load buckets duplicate, high-load buckets do not.
+        let first = out.buckets.first().unwrap();
+        let last = out.buckets.last().unwrap();
+        assert!(first.frac_k2() > 0.9, "start of ramp: {:?}", first);
+        assert!(last.frac_k2() < 0.1, "end of ramp: {:?}", last);
+        assert_eq!(out.completed, cfg.requests);
+    }
+
+    #[test]
+    fn switch_off_interpolation() {
+        let curve = [(0.1, 1.0), (0.2, 1.0), (0.3, 0.75), (0.4, 0.25), (0.5, 0.0)];
+        let x = switch_off_load(&curve);
+        assert!((x - 0.35).abs() < 1e-12, "{x}");
+        assert!(switch_off_load(&[(0.1, 1.0), (0.2, 0.9)]).is_nan());
+        assert!(switch_off_load(&[]).is_nan());
+        // NaN buckets are skipped, not treated as crossings.
+        let gappy = [(0.1, 1.0), (0.2, f64::NAN), (0.3, 0.0)];
+        let x = switch_off_load(&gappy);
+        assert!((x - 0.2).abs() < 1e-9, "{x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "saturates")]
+    fn saturating_fixed_policy_panics() {
+        let _ = run(&flat(Policy::Always { copies: 2 }, 0.55));
+    }
+}

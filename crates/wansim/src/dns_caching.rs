@@ -56,11 +56,21 @@ impl NameCache {
 
     /// Inserts a name (duplicates allowed; eviction is FIFO over insert
     /// events, with refcounts so a re-inserted name survives one eviction).
+    ///
+    /// A capacity of 0 means "cache disabled": the insert is a no-op, so
+    /// nothing is ever resident and the eviction path (which would
+    /// otherwise insert-then-immediately-evict every name, churning the
+    /// queue and relying on `pop_front` succeeding) is never entered.
     pub fn insert(&mut self, name: u64) {
+        if self.capacity == 0 {
+            return;
+        }
         *self.counts.entry(name).or_insert(0) += 1;
         self.order.push_back(name);
         while self.order.len() > self.capacity {
-            let victim = self.order.pop_front().unwrap();
+            let Some(victim) = self.order.pop_front() else {
+                break;
+            };
             match self.counts.get_mut(&victim) {
                 Some(c) if *c > 1 => *c -= 1,
                 _ => {
@@ -225,6 +235,26 @@ mod tests {
         c.insert(3);
         assert!(!c.contains(1), "oldest evicted");
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_disabled() {
+        // Regression: capacity 0 used to drive the insert-then-evict path
+        // on every insert; it must instead behave as "no cache at all".
+        let mut c = NameCache::new(0);
+        for name in 0..1_000u64 {
+            c.insert(name);
+            assert!(!c.contains(name));
+        }
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        // Capacity 1 still caches (exactly one name).
+        let mut c = NameCache::new(1);
+        c.insert(7);
+        assert!(c.contains(7));
+        c.insert(8);
+        assert!(!c.contains(7) && c.contains(8));
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

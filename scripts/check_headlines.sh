@@ -62,6 +62,22 @@ if [ -f "$dir/tcp.txt" ]; then
   fi
 fi
 
+# fig-service: the live planner's switch-off load lands within +-0.05 of
+# the offline section-2.1 threshold for the exponential workload.
+if [ -f "$dir/fig-service.txt" ]; then
+  so=$(grep -o 'planner switch-off load: [0-9.]*' "$dir/fig-service.txt" | grep -o '[0-9.]*$')
+  th=$(grep -o 'offline threshold: [0-9.]*' "$dir/fig-service.txt" | grep -o '[0-9.]*$')
+  if [ -n "$so" ] && [ -n "$th" ] && awk "BEGIN { d = $so - $th; if (d < 0) d = -d; exit !(d <= 0.05) }"; then
+    echo "ok   fig-service: switch-off $so within 0.05 of threshold $th"
+  else
+    echo "FAIL fig-service: switch-off '$so' vs threshold '$th' out of band"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service: missing $dir/fig-service.txt"
+  fails=$((fails + 1))
+fi
+
 # Fig 16: 10-server mean reduction in the recorded band, tail strong.
 check "fig16: k=10 mean reduction in [35, 80], p99 > 30" fig16.txt \
   'if ($1 == "10" && $2 >= 35 && $2 <= 80 && $5 > 30) ok = 1'

@@ -87,6 +87,33 @@ fn memcached_report_shape() {
     }
 }
 
+/// The service layer closes the loop the paper only sweeps offline: a
+/// sharded store whose front-end consults the planner per request must
+/// switch replication off, live, within ±0.05 of the offline §2.1
+/// threshold for the exponential workload.
+#[test]
+fn service_layer_flips_at_the_offline_threshold() {
+    let out = run_experiment("fig-service", Effort::Quick);
+    let grab = |tag: &str| -> f64 {
+        out.lines()
+            .find_map(|l| l.strip_prefix(tag))
+            .unwrap_or_else(|| panic!("missing '{tag}' in:\n{out}"))
+            .trim()
+            .parse()
+            .expect("numeric headline")
+    };
+    let switch_off = grab("# planner switch-off load:");
+    let threshold = grab("# offline threshold:");
+    assert!(
+        (threshold - 1.0 / 3.0).abs() < 0.01,
+        "offline threshold {threshold} != 1/3"
+    );
+    assert!(
+        (switch_off - threshold).abs() <= 0.05,
+        "switch-off {switch_off} vs threshold {threshold}"
+    );
+}
+
 /// §2.4 headline: replicating the first packets improves the small-flow
 /// median at moderate load without hurting originals.
 #[test]
