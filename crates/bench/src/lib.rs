@@ -42,9 +42,35 @@ impl Effort {
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "thm1", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6",
-    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig-service", "fig14a", "fig14b",
-    "fig14c", "tcp", "fig15", "fig16", "fig17",
+    "thm1",
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig-service",
+    "fig-service-est",
+    "fig-service-tail",
+    "fig-service-skew",
+    "fig14a",
+    "fig14b",
+    "fig14c",
+    "tcp",
+    "fig15",
+    "fig16",
+    "fig17",
 ];
 
 /// Runs one experiment by id, returning its printable report.
@@ -72,6 +98,9 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig12" => store::fig12(effort),
         "fig13" => store::fig13(effort),
         "fig-service" => store::fig_service(effort),
+        "fig-service-est" => store::fig_service_est(effort),
+        "fig-service-tail" => store::fig_service_tail(effort),
+        "fig-service-skew" => store::fig_service_skew(effort),
         "fig14a" => network::fig14a(effort),
         "fig14b" => network::fig14b(effort),
         "fig14c" => network::fig14c(effort),

@@ -1,32 +1,117 @@
-//! Live load estimation: the input the [`crate::planner::Planner`] needs
-//! to drive per-request replication decisions on real traffic.
+//! Live workload estimation: the inputs the [`crate::planner::Planner`]
+//! needs to drive per-request replication decisions on real traffic.
 //!
-//! The planner's advice is a function of the current per-server
-//! utilization, but a front-end never observes utilization directly — it
-//! observes an arrival stream. [`RateEstimator`] turns that stream into a
-//! utilization estimate with a **windowed Welford accumulator** over
-//! inter-arrival gaps: the window makes the estimate track load *shifts*
-//! (the whole point of switching replication off as load climbs), and the
-//! Welford-style incremental update keeps mean and variance numerically
-//! stable at O(1) per arrival with no rescan of the window.
+//! The planner's advice is a function of the current per-server utilization
+//! *and* the first two moments of the service time, but a front-end never
+//! observes either directly — it observes an arrival stream and a stream of
+//! per-copy service durations. Two estimators close that gap:
+//!
+//! * [`RateEstimator`] turns the arrival stream into a utilization estimate
+//!   with a **windowed Welford accumulator** over inter-arrival gaps.
+//! * [`MomentEstimator`] turns observed per-copy response/service times
+//!   into the live mean and squared coefficient of variation the §2.1
+//!   threshold depends on — the piece that makes the planner fully
+//!   self-calibrating instead of trusting configured moments.
+//!
+//! Both share the same core: the window makes the estimates track *shifts*
+//! (the whole point of switching replication off as load climbs, or
+//! re-deriving the threshold when the backend's service law drifts), and
+//! the Welford-style incremental update keeps mean and variance numerically
+//! stable at O(1) per observation with no rescan of the window.
 //!
 //! The variance is exposed because it is the natural confidence signal: a
 //! Poisson stream at rate λ has gap CV ≈ 1, so a window whose gap variance
 //! is wildly larger than `mean²` indicates a mixed/bursty stream whose
-//! rate estimate deserves less trust.
+//! rate estimate deserves less trust — and for service times the variance
+//! *is* the signal (the SCV axis of the paper's Figure 2).
 
 use std::collections::VecDeque;
+
+/// Windowed mean/variance over the last `window` observations: classic
+/// Welford while growing, single-update evict-and-admit once full. The
+/// shared core of both public estimators.
+#[derive(Clone, Debug)]
+struct WindowedWelford {
+    window: usize,
+    xs: VecDeque<f64>,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2),
+    /// maintained under both growth and sliding replacement.
+    m2: f64,
+}
+
+impl WindowedWelford {
+    fn new(window: usize) -> Self {
+        assert!(window >= 2, "estimator window must be >= 2, got {window}");
+        WindowedWelford {
+            window,
+            xs: VecDeque::with_capacity(window),
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if self.xs.len() == self.window {
+            // Sliding replacement: evict the oldest observation and admit
+            // the new one in a single windowed-Welford update.
+            let old = self.xs.pop_front().expect("window nonempty");
+            self.xs.push_back(x);
+            let n = self.xs.len() as f64;
+            let old_mean = self.mean;
+            let delta = x - old;
+            self.mean += delta / n;
+            self.m2 += delta * (x - self.mean + old - old_mean);
+            // Replacement arithmetic can leave a tiny negative residue.
+            if self.m2 < 0.0 {
+                self.m2 = 0.0;
+            }
+        } else {
+            // Growth phase: classic Welford.
+            self.xs.push_back(x);
+            let n = self.xs.len() as f64;
+            let delta = x - self.mean;
+            self.mean += delta / n;
+            self.m2 += delta * (x - self.mean);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    fn mean(&self) -> f64 {
+        if self.xs.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the windowed observations (0 with < 2).
+    fn variance(&self) -> f64 {
+        if self.xs.len() < 2 {
+            0.0
+        } else {
+            self.m2 / self.xs.len() as f64
+        }
+    }
+
+    /// Discards every held observation, returning to the cold state. The
+    /// configured window length is kept.
+    fn reset(&mut self) {
+        self.xs.clear();
+        self.mean = 0.0;
+        self.m2 = 0.0;
+    }
+}
 
 /// Windowed mean/variance of inter-arrival gaps, with rate and utilization
 /// views. All state is O(window) and every update is O(1).
 #[derive(Clone, Debug)]
 pub struct RateEstimator {
-    window: usize,
-    gaps: VecDeque<f64>,
-    mean: f64,
-    /// Sum of squared deviations from the running mean (Welford's M2),
-    /// maintained under both growth and sliding replacement.
-    m2: f64,
+    gaps: WindowedWelford,
     last_arrival: Option<f64>,
 }
 
@@ -37,19 +122,15 @@ impl RateEstimator {
     /// Panics if `window < 2` — a rate cannot be estimated from fewer than
     /// two gaps without collapsing to a single-sample guess.
     pub fn new(window: usize) -> Self {
-        assert!(window >= 2, "rate window must be >= 2, got {window}");
         RateEstimator {
-            window,
-            gaps: VecDeque::with_capacity(window),
-            mean: 0.0,
-            m2: 0.0,
+            gaps: WindowedWelford::new(window),
             last_arrival: None,
         }
     }
 
     /// The configured window length (gaps).
     pub fn window(&self) -> usize {
-        self.window
+        self.gaps.window
     }
 
     /// Number of gaps currently held (saturates at the window length).
@@ -59,7 +140,7 @@ impl RateEstimator {
 
     /// `true` when no gap has been observed yet.
     pub fn is_empty(&self) -> bool {
-        self.gaps.is_empty()
+        self.gaps.len() == 0
     }
 
     /// `true` once at least two gaps are held — the earliest point at
@@ -85,55 +166,34 @@ impl RateEstimator {
     /// Records one inter-arrival gap directly (for callers that already
     /// difference their clock).
     pub fn push_gap(&mut self, gap: f64) {
-        debug_assert!(gap >= 0.0 && gap.is_finite());
-        if self.gaps.len() == self.window {
-            // Sliding replacement: evict the oldest gap and admit the new
-            // one in a single windowed-Welford update.
-            let old = self.gaps.pop_front().expect("window nonempty");
-            self.gaps.push_back(gap);
-            let n = self.gaps.len() as f64;
-            let old_mean = self.mean;
-            let delta = gap - old;
-            self.mean += delta / n;
-            self.m2 += delta * (gap - self.mean + old - old_mean);
-            // Replacement arithmetic can leave a tiny negative residue.
-            if self.m2 < 0.0 {
-                self.m2 = 0.0;
-            }
-        } else {
-            // Growth phase: classic Welford.
-            self.gaps.push_back(gap);
-            let n = self.gaps.len() as f64;
-            let delta = gap - self.mean;
-            self.mean += delta / n;
-            self.m2 += delta * (gap - self.mean);
-        }
+        debug_assert!(gap >= 0.0);
+        self.gaps.push(gap);
+    }
+
+    /// Forgets every held gap *and* the clock anchor, returning to the
+    /// cold state (e.g. after a traffic discontinuity that would otherwise
+    /// poison the window with one giant gap). The window length is kept.
+    pub fn reset(&mut self) {
+        self.gaps.reset();
+        self.last_arrival = None;
     }
 
     /// Mean inter-arrival gap over the window (0 if empty).
     pub fn mean_gap(&self) -> f64 {
-        if self.gaps.is_empty() {
-            0.0
-        } else {
-            self.mean
-        }
+        self.gaps.mean()
     }
 
     /// Population variance of the windowed gaps (0 with < 2 gaps).
     pub fn gap_variance(&self) -> f64 {
-        if self.gaps.len() < 2 {
-            0.0
-        } else {
-            self.m2 / self.gaps.len() as f64
-        }
+        self.gaps.variance()
     }
 
     /// Estimated arrival rate, 1 / mean gap (0 until warm).
     pub fn rate(&self) -> f64 {
-        if !self.is_warm() || self.mean <= 0.0 {
+        if !self.is_warm() || self.gaps.mean() <= 0.0 {
             0.0
         } else {
-            1.0 / self.mean
+            1.0 / self.gaps.mean()
         }
     }
 
@@ -145,6 +205,99 @@ impl RateEstimator {
     pub fn utilization(&self, mean_service: f64, servers: usize) -> f64 {
         debug_assert!(mean_service > 0.0 && servers > 0);
         self.rate() * mean_service / servers as f64
+    }
+}
+
+/// Windowed Welford estimator of the first two **service-time moments** —
+/// the other half of the §2.1 threshold's inputs, measured online.
+///
+/// Feed it every per-copy service (or low-load response) duration the
+/// front-end learns about; read back the live mean and SCV and hand them to
+/// [`Planner::recalibrated`](crate::planner::Planner::recalibrated). Until
+/// the window holds enough samples ([`len`](Self::len) against a caller-
+/// chosen warm-up count, or the built-in two-sample
+/// [`is_warm`](Self::is_warm) floor) a caller should fall back to its
+/// configured moments — the estimator reports exactly what it holds and
+/// never extrapolates.
+#[derive(Clone, Debug)]
+pub struct MomentEstimator {
+    samples: WindowedWelford,
+}
+
+impl MomentEstimator {
+    /// An estimator over the last `window` observed durations.
+    ///
+    /// # Panics
+    /// Panics if `window < 2` — an SCV cannot be estimated from fewer than
+    /// two samples.
+    pub fn new(window: usize) -> Self {
+        MomentEstimator {
+            samples: WindowedWelford::new(window),
+        }
+    }
+
+    /// The configured window length (samples).
+    pub fn window(&self) -> usize {
+        self.samples.window
+    }
+
+    /// Number of samples currently held (saturates at the window length).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no duration has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.len() == 0
+    }
+
+    /// `true` once at least two samples are held — the structural floor
+    /// below which [`scv`](Self::scv) is meaningless. Callers calibrating a
+    /// planner should usually demand far more (hundreds) before trusting
+    /// the SCV of anything heavy-tailed.
+    pub fn is_warm(&self) -> bool {
+        self.samples.len() >= 2
+    }
+
+    /// Records one observed duration.
+    ///
+    /// # Panics
+    /// Debug-panics on negative or non-finite durations.
+    pub fn observe(&mut self, duration: f64) {
+        debug_assert!(
+            duration >= 0.0 && duration.is_finite(),
+            "bad duration {duration}"
+        );
+        self.samples.push(duration);
+    }
+
+    /// Discards every held sample, returning to the cold state (e.g. after
+    /// a backend failover invalidates the measured service law). The
+    /// window length is kept.
+    pub fn reset(&mut self) {
+        self.samples.reset();
+    }
+
+    /// Mean duration over the window (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.samples.mean()
+    }
+
+    /// Population variance over the window (0 with < 2 samples).
+    pub fn variance(&self) -> f64 {
+        self.samples.variance()
+    }
+
+    /// Squared coefficient of variation over the window — the paper's
+    /// service-variability axis (0 = deterministic, 1 = exponential,
+    /// > 1 = heavy). 0 until warm.
+    pub fn scv(&self) -> f64 {
+        let m = self.samples.mean();
+        if !self.is_warm() || m <= 0.0 {
+            0.0
+        } else {
+            self.samples.variance() / (m * m)
+        }
     }
 }
 
@@ -227,8 +380,88 @@ mod tests {
     }
 
     #[test]
+    fn reset_returns_to_cold_and_forgets_the_clock() {
+        let mut est = RateEstimator::new(4);
+        for t in 0..6 {
+            est.observe_arrival(t as f64);
+        }
+        assert!(est.is_warm());
+        est.reset();
+        assert!(est.is_empty());
+        assert_eq!(est.rate(), 0.0);
+        assert_eq!(est.window(), 4);
+        // The clock anchor is gone too: the next arrival must not create a
+        // gap spanning the discontinuity.
+        est.observe_arrival(1_000.0);
+        assert!(est.is_empty(), "first post-reset arrival only anchors");
+        est.observe_arrival(1_000.5);
+        est.observe_arrival(1_001.0);
+        assert!((est.rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "window")]
     fn tiny_window_rejected() {
         let _ = RateEstimator::new(1);
+    }
+
+    #[test]
+    fn moment_estimator_matches_naive_windowed_moments() {
+        let xs: Vec<f64> = (0..150)
+            .map(|i| 0.1 + ((i * 53) % 89) as f64 * 0.02)
+            .collect();
+        let w = 24;
+        let mut est = MomentEstimator::new(w);
+        for (i, &x) in xs.iter().enumerate() {
+            est.observe(x);
+            let lo = (i + 1).saturating_sub(w);
+            let window = &xs[lo..=i];
+            let (mean, var) = naive_mean_var(window);
+            assert!((est.mean() - mean).abs() < 1e-12, "mean at {i}");
+            assert!((est.variance() - var).abs() < 1e-9, "var at {i}");
+            if window.len() >= 2 {
+                assert!((est.scv() - var / (mean * mean)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn moment_estimator_learns_known_scv() {
+        // Exponential(mean 2) has scv 1; the windowed estimate over a full
+        // window of draws should land near it.
+        let mut rng = simcore::rng::Rng::seed_from(0x5C4);
+        let mut est = MomentEstimator::new(4096);
+        for _ in 0..4096 {
+            est.observe(rng.exponential(0.5));
+        }
+        assert!((est.mean() - 2.0).abs() < 0.15, "mean {}", est.mean());
+        assert!((est.scv() - 1.0).abs() < 0.15, "scv {}", est.scv());
+        // Deterministic samples: scv collapses to ~0.
+        est.reset();
+        assert!(est.is_empty() && est.scv() == 0.0);
+        for _ in 0..100 {
+            est.observe(3.0);
+        }
+        assert!(est.scv() < 1e-12);
+    }
+
+    #[test]
+    fn moment_estimator_cold_and_floor() {
+        let mut est = MomentEstimator::new(8);
+        assert_eq!(est.mean(), 0.0);
+        assert_eq!(est.scv(), 0.0);
+        est.observe(5.0);
+        assert!(!est.is_warm(), "one sample is not enough for an SCV");
+        assert_eq!(est.scv(), 0.0);
+        est.observe(5.0);
+        assert!(est.is_warm());
+        assert_eq!(est.window(), 8);
+        assert_eq!(est.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn moment_tiny_window_rejected() {
+        let _ = MomentEstimator::new(1);
     }
 }

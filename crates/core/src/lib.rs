@@ -26,11 +26,15 @@
 //!   `queuesim` crate: never replicate above 50 % utilization, always
 //!   below ~26 % (absent client cost), with the exact crossover computed
 //!   from the two-moment response model.
-//! * **Estimator** — [`estimator::RateEstimator`] turns a live arrival
-//!   stream into the utilization estimate the planner consumes (windowed
-//!   Welford over inter-arrival gaps), which is what lets a service
-//!   front-end adapt its replication factor as load shifts — see
-//!   `storesim::service` for the full loop running on simulated traffic.
+//! * **Estimators** — [`estimator::RateEstimator`] turns a live arrival
+//!   stream into the utilization estimate the planner consumes, and
+//!   [`estimator::MomentEstimator`] turns observed per-copy service
+//!   durations into the live mean and SCV the threshold depends on (both
+//!   windowed Welford accumulators). Together with
+//!   [`planner::Planner::recalibrated`] they make a front-end fully
+//!   self-calibrating: rate, mean, and variability are all measured, none
+//!   assumed — see `storesim::service` for the full loop running on
+//!   simulated traffic.
 //!
 //! ## Quick start (threads)
 //!
@@ -72,7 +76,7 @@ pub mod tokio_exec;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::cancel::CancelToken;
-    pub use crate::estimator::RateEstimator;
+    pub use crate::estimator::{MomentEstimator, RateEstimator};
     pub use crate::planner::{Advice, Planner, WorkloadProfile};
     pub use crate::policy::Policy;
     pub use crate::sync_exec::{hedged, race, replica, RaceOutcome};

@@ -313,6 +313,50 @@ pub struct ServiceRampOutcome {
     pub offline_threshold: f64,
     /// Copies cancelled per copy issued (0 with cancellation off).
     pub cancel_fraction: f64,
+    /// Final live threshold, averaged over the replications that report
+    /// one (equals `offline_threshold` in clairvoyant mode, NaN for fixed
+    /// policies).
+    pub live_threshold: f64,
+    /// Final online mean-service estimate averaged over replications (NaN
+    /// unless estimated mode ran warm).
+    pub est_mean_service: f64,
+    /// Final online SCV estimate averaged over replications (NaN unless
+    /// estimated mode ran warm).
+    pub est_scv: f64,
+}
+
+impl ServiceRampOutcome {
+    /// Fraction of all measured requests that had a second copy
+    /// dispatched — for hedged ramps, the overall fired-hedge fraction.
+    pub fn overall_frac_k2(&self) -> f64 {
+        let total: usize = self.rows.iter().map(|r| r.requests).sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let k2: f64 = self
+            .rows
+            .iter()
+            .filter(|r| r.requests > 0)
+            .map(|r| r.frac_k2 * r.requests as f64)
+            .sum();
+        k2 / total as f64
+    }
+}
+
+/// Mean over the finite entries of an iterator (NaN when none are).
+fn finite_mean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0usize);
+    for x in xs {
+        if x.is_finite() {
+            sum += x;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
 }
 
 /// Runs `replications` independent load-ramp simulations of the sharded
@@ -391,6 +435,9 @@ pub fn run_service_ramp_on(
         switch_off: service::switch_off_load(&curve),
         offline_threshold: results[0].planner_threshold,
         cancel_fraction: cancelled as f64 / issued.max(1) as f64,
+        live_threshold: finite_mean(results.iter().map(|r| r.live_threshold)),
+        est_mean_service: finite_mean(results.iter().map(|r| r.est_mean_service)),
+        est_scv: finite_mean(results.iter().map(|r| r.est_scv)),
         rows,
     }
 }
@@ -479,7 +526,7 @@ mod tests {
         let mut cfg = ServiceConfig::ramp(Arc::new(Exponential::with_mean(1.0e-3)), 0.05, 0.6);
         cfg.requests = 30_000;
         cfg.warmup = 3_000;
-        if let crate::service::Frontend::Adaptive { window } = &mut cfg.frontend {
+        if let crate::service::Frontend::Adaptive { window, .. } = &mut cfg.frontend {
             *window = 768;
         }
         // The aggregate switch-off must land on the offline threshold, and
@@ -498,6 +545,52 @@ mod tests {
             assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
             assert_eq!(a.p99.to_bits(), b.p99.to_bits());
         }
+    }
+
+    #[test]
+    fn estimated_ramp_aggregates_calibration_fields() {
+        use crate::service::{Frontend, MomentSource};
+        let mut cfg = ServiceConfig::ramp(Arc::new(Exponential::with_mean(1.0e-3)), 0.05, 0.55);
+        cfg.requests = 12_000;
+        cfg.warmup = 1_200;
+        cfg.frontend = Frontend::Adaptive {
+            window: 768,
+            moments: MomentSource::Estimated {
+                window: 4096,
+                min_samples: 256,
+                recalibrate: 512,
+            },
+        };
+        let out = run_service_ramp(&cfg, 2);
+        // The calibration aggregates are finite means over replications and
+        // land near the config truth.
+        assert!(
+            (out.est_mean_service - 1.0e-3).abs() / 1.0e-3 < 0.15,
+            "est mean {}",
+            out.est_mean_service
+        );
+        assert!((out.est_scv - 1.0).abs() < 0.4, "est scv {}", out.est_scv);
+        assert!(
+            (out.live_threshold - out.offline_threshold).abs() < 0.02,
+            "live {} vs offline {}",
+            out.live_threshold,
+            out.offline_threshold
+        );
+        // Adaptive ramps spend roughly the sub-threshold fraction of the
+        // ramp at k = 2; the aggregate fraction must reflect that.
+        let f = out.overall_frac_k2();
+        assert!(f > 0.3 && f < 0.9, "overall frac_k2 {f}");
+        // Clairvoyant runs report NaN calibration fields.
+        cfg.frontend = Frontend::Adaptive {
+            window: 768,
+            moments: MomentSource::Clairvoyant,
+        };
+        let clair = run_service_ramp(&cfg, 2);
+        assert!(clair.est_mean_service.is_nan() && clair.est_scv.is_nan());
+        assert_eq!(
+            clair.live_threshold.to_bits(),
+            clair.offline_threshold.to_bits()
+        );
     }
 
     #[test]

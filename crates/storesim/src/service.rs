@@ -17,11 +17,24 @@
 //!   sharing, all resident requests served at rate 1/n — the egalitarian
 //!   model of the redundancy literature).
 //! * **Front-end** — consults [`redundancy`]'s stack per request: a
-//!   [`Policy`] (fixed `Single`/`Always`/`Hedged`) or the **adaptive**
-//!   mode, where a windowed arrival-rate estimator
-//!   ([`RateEstimator`]) feeds the live utilization into the
+//!   [`Policy`] (fixed `Single`/`Always`/`Hedged`, all usable on the load
+//!   ramp) or the **adaptive** mode, where a windowed arrival-rate
+//!   estimator ([`RateEstimator`]) feeds the live utilization into the
 //!   [`Planner`]'s §2.1 threshold and the request is duplicated exactly
-//!   when the estimated load is below it.
+//!   when the estimated load is below it. The threshold itself comes from
+//!   a [`MomentSource`]: **clairvoyant** (config-supplied service moments,
+//!   the partly-omniscient PR 3 mode) or **estimated**, where a
+//!   [`MomentEstimator`] over the per-copy service durations reported by
+//!   completing servers re-derives mean, SCV, and threshold online — the
+//!   fully self-calibrating loop (cf. Shah et al., whose answer to "when
+//!   do redundant requests reduce latency?" hinges on the service-time
+//!   shape, and Joshi et al.'s insistence that adaptive replication react
+//!   to *measured* state).
+//! * **Workload mix** — keys are uniform by default, or skewed per-shard
+//!   via any [`DiscreteEmpirical`] popularity ([`zipf_popularity`]),
+//!   which concentrates traffic on the hash ring's hot servers and
+//!   exercises the contention the balanced-load threshold model does not
+//!   see.
 //! * **Cancellation** — on the first response, the request's
 //!   [`CancelToken`] is cancelled and cancel messages race (one
 //!   propagation delay) to the losing servers, which purge every copy the
@@ -42,15 +55,16 @@
 
 use crate::hashring::HashRing;
 use redundancy::cancel::CancelToken;
-use redundancy::estimator::RateEstimator;
-use redundancy::planner::{Planner, WorkloadProfile};
+use redundancy::estimator::{MomentEstimator, RateEstimator};
+use redundancy::planner::{Planner, ThresholdCache, WorkloadProfile};
 use redundancy::policy::Policy;
-use simcore::dist::{Distribution, DynDist};
+use simcore::dist::{BoundedPareto, DiscreteEmpirical, Distribution, DynDist, Weibull};
 use simcore::event::EventQueue;
 use simcore::rng::Rng;
 use simcore::stats::SampleSet;
 use simcore::time::SimTime;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Queueing discipline at each server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +73,46 @@ pub enum Discipline {
     Fifo,
     /// Processor sharing: all resident copies progress at rate 1/n.
     Ps,
+}
+
+/// Where the adaptive front-end gets the service moments that
+/// parameterize the planner's §2.1 threshold.
+#[derive(Clone, Debug)]
+pub enum MomentSource {
+    /// Trust the config: threshold computed once from
+    /// [`ServiceConfig::service`]'s exact moments (the partly-clairvoyant
+    /// PR 3 behavior, kept as the reference mode).
+    Clairvoyant,
+    /// Measure: a [`MomentEstimator`] over the per-copy service durations
+    /// reported by completing servers re-derives mean, SCV, and threshold
+    /// online. Until `min_samples` durations have been observed the
+    /// front-end falls back to the clairvoyant threshold (the warm-up
+    /// fallback: a fresh deployment starts from its capacity-planning
+    /// assumptions and then calibrates them away).
+    Estimated {
+        /// Moment-estimator window, in observed durations.
+        window: usize,
+        /// Observations required before the live moments are trusted.
+        min_samples: usize,
+        /// Threshold recalibration cadence, in observed durations. The
+        /// recalibration itself is memoized on a quantized-SCV grid
+        /// ([`ThresholdCache`]), so a converged estimator stops paying
+        /// for the bisection entirely.
+        recalibrate: usize,
+    },
+}
+
+impl MomentSource {
+    /// Estimated mode with figure-sized defaults: an 8192-duration window
+    /// (large enough to see a heavy tail's rare giants), trust after 512
+    /// observations, recalibrate every 1024.
+    pub fn estimated() -> Self {
+        MomentSource::Estimated {
+            window: 8192,
+            min_samples: 512,
+            recalibrate: 1024,
+        }
+    }
 }
 
 /// How the front-end picks the replication factor of each request.
@@ -71,6 +125,8 @@ pub enum Frontend {
     Adaptive {
         /// Window of the arrival-rate estimator, in inter-arrival gaps.
         window: usize,
+        /// Where the threshold's service moments come from.
+        moments: MomentSource,
     },
 }
 
@@ -90,6 +146,10 @@ pub struct ServiceConfig {
     pub discipline: Discipline,
     /// Service-time distribution of one copy at one server.
     pub service: DynDist,
+    /// Per-shard popularity of the request mix (`None` = uniform keys).
+    /// Samples are floored and clamped into `[0, shards)`; build with
+    /// [`zipf_popularity`] for the classic skewed mix.
+    pub popularity: Option<Arc<DiscreteEmpirical>>,
     /// Replication decision mode.
     pub frontend: Frontend,
     /// Cancel losing copies once the first response arrives.
@@ -127,7 +187,11 @@ impl ServiceConfig {
             vnodes: 64,
             discipline: Discipline::Fifo,
             service,
-            frontend: Frontend::Adaptive { window: 2048 },
+            popularity: None,
+            frontend: Frontend::Adaptive {
+                window: 2048,
+                moments: MomentSource::Clairvoyant,
+            },
             cancellation: false,
             propagation: 50.0e-6,
             client_overhead: 0.0,
@@ -160,6 +224,75 @@ impl ServiceConfig {
             self.load_start + (self.load_end - self.load_start) * frac
         }
     }
+}
+
+/// How a popularity sample maps to a shard id — the single definition
+/// shared by the simulation's dispatch path and [`stored_load_shares`]'s
+/// accounting: floored, clamped into `[0, shards)`.
+fn shard_of(sample: f64, shards: usize) -> usize {
+    (sample.floor().max(0.0) as usize).min(shards - 1)
+}
+
+/// Zipf(`exponent`) popularity over `shards` shards: shard `i` carries
+/// weight `(i+1)^-exponent`. `exponent = 0` is uniform; ~0.9–1.1 matches
+/// measured key-value traffic skews.
+///
+/// # Panics
+/// Panics on zero shards or a negative exponent.
+pub fn zipf_popularity(shards: usize, exponent: f64) -> Arc<DiscreteEmpirical> {
+    assert!(shards >= 1, "popularity over zero shards");
+    assert!(exponent >= 0.0, "negative Zipf exponent {exponent}");
+    let pairs: Vec<(f64, f64)> = (0..shards)
+        .map(|i| (i as f64, ((i + 1) as f64).powf(-exponent)))
+        .collect();
+    Arc::new(DiscreteEmpirical::new(&pairs))
+}
+
+/// A Weibull service law with the given `shape` rescaled to `mean` —
+/// shape < 1 is heavy-tailed (SCV > 1), shape > 1 light (SCV < 1).
+pub fn weibull_with_mean(shape: f64, mean: f64) -> Weibull {
+    assert!(mean > 0.0);
+    // Weibull's mean is proportional to its scale.
+    Weibull::new(shape, mean / Weibull::new(shape, 1.0).mean())
+}
+
+/// A BoundedPareto(α) service law spanning `spread` orders of support
+/// (`hi = spread·lo`), rescaled to `mean`. α close to 1 with a wide spread
+/// gives the large-SCV heavy tails of Figure 2(b).
+pub fn bounded_pareto_with_mean(alpha: f64, spread: f64, mean: f64) -> BoundedPareto {
+    assert!(mean > 0.0 && spread > 1.0);
+    // Moments scale linearly with (lo, hi), so fit at lo = 1 and rescale.
+    let unit = BoundedPareto::new(alpha, 1.0, spread);
+    let s = mean / unit.mean();
+    BoundedPareto::new(alpha, s, spread * s)
+}
+
+/// Expected fraction of dispatched copies each server receives under
+/// k = 1 dispatch, given the config's popularity mix: every shard spreads
+/// its weight uniformly over its `stored_replicas` ring servers (the
+/// front-end load-balances single reads across stored copies). Sums to 1;
+/// the max entry over `1/servers` is the hot-server multiplier that
+/// drives the skewed-workload contention.
+pub fn stored_load_shares(cfg: &ServiceConfig) -> Vec<f64> {
+    // Per-shard weights, attributed exactly as `run` maps popularity
+    // samples to shards: by *value* (floored and clamped), never by the
+    // distribution's construction order.
+    let mut weights = vec![1.0 / cfg.shards as f64; cfg.shards];
+    if let Some(d) = &cfg.popularity {
+        weights.fill(0.0);
+        for (&v, &p) in d.values().iter().zip(d.probs()) {
+            weights[shard_of(v, cfg.shards)] += p;
+        }
+    }
+    let ring = HashRing::new(cfg.servers, cfg.vnodes);
+    let mut shares = vec![0.0f64; cfg.servers];
+    for (shard, &w) in weights.iter().enumerate() {
+        let stored = ring.replicas(shard as u64, cfg.stored_replicas);
+        for &s in &stored {
+            shares[s] += w / stored.len() as f64;
+        }
+    }
+    shares
 }
 
 /// One bucket of the load ramp.
@@ -201,8 +334,21 @@ pub struct ServiceResult {
     pub buckets: Vec<RampBucket>,
     /// Load at which the k = 2 fraction crosses ½ (NaN if it never does).
     pub switch_off: f64,
-    /// The offline §2.1 threshold the planner computed for this workload.
+    /// The offline §2.1 threshold the planner computed for this workload
+    /// from the *config* moments (the clairvoyant reference).
     pub planner_threshold: f64,
+    /// The threshold in force when the run ended: equals
+    /// `planner_threshold` in clairvoyant mode, the last recalibrated
+    /// value in estimated mode, NaN for fixed policies.
+    pub live_threshold: f64,
+    /// Final online estimate of the mean service time (NaN unless
+    /// estimated mode ran warm).
+    pub est_mean_service: f64,
+    /// Final online estimate of the service SCV (NaN unless estimated
+    /// mode ran warm).
+    pub est_scv: f64,
+    /// Threshold recalibrations performed (0 outside estimated mode).
+    pub recalibrations: u64,
     /// Copies dispatched to servers (includes warm-up).
     pub copies_issued: u64,
     /// Copies purged by cancellation before completing service.
@@ -215,18 +361,33 @@ pub struct ServiceResult {
 
 /// Interpolated load at which a `(load, frac_k2)` curve (ascending loads)
 /// last crosses from ≥ ½ to < ½ — the planner's observable switch-off
-/// point. Returns NaN when the curve never crosses (e.g. a fixed policy,
-/// or a ramp entirely on one side of the threshold). Empty buckets (NaN
-/// fractions) are skipped.
+/// point.
+///
+/// Degenerate curves report **NaN** rather than an interpolated artifact:
+///
+/// * an empty curve, or one with fewer than two usable points (a single
+///   bucket has no crossing to interpolate);
+/// * a curve that never reaches ½ (e.g. a fixed `Single` policy) or never
+///   drops below it (a ramp entirely inside the replicate region);
+/// * points with a non-finite load or NaN fraction are skipped entirely
+///   (empty buckets), so a crossing can legitimately interpolate across a
+///   gap.
+///
+/// A **non-monotone** curve (estimator jitter oscillating around the
+/// threshold) reports the *last* downward crossing — the load beyond which
+/// the planner never re-enables replication. A plateau sitting exactly at
+/// ½ that then drops reports the plateau's last point.
 pub fn switch_off_load(points: &[(f64, f64)]) -> f64 {
     let mut crossing = f64::NAN;
     let mut prev: Option<(f64, f64)> = None;
     for &(load, frac) in points {
-        if frac.is_nan() {
+        if !load.is_finite() || frac.is_nan() {
             continue;
         }
         if let Some((l0, f0)) = prev {
             if f0 >= 0.5 && frac < 0.5 {
+                // f0 > frac is guaranteed here, so the interpolation is a
+                // true convex combination of [l0, load].
                 crossing = l0 + (load - l0) * (f0 - 0.5) / (f0 - frac);
             }
         }
@@ -267,13 +428,18 @@ struct ReqState {
 
 struct FifoServer {
     queue: VecDeque<(u32, f64)>,
-    /// Request id of the copy in service, if any.
-    in_service: Option<u32>,
+    /// `(request id, service demand)` of the copy in service, if any —
+    /// the demand is re-surfaced at departure as the server's measured
+    /// duration report to the moment estimator.
+    in_service: Option<(u32, f64)>,
     busy: f64,
 }
 
 struct PsJob {
     req: u32,
+    /// Total service demand (reported to the moment estimator at
+    /// completion).
+    size: f64,
     remaining: f64,
 }
 
@@ -318,10 +484,14 @@ impl PsServer {
 /// # Panics
 /// Panics on inconsistent configuration: no servers/shards/requests, more
 /// stored replicas than servers, a fixed policy issuing more copies than
-/// stored replicas, loads outside `[0, 1)`, or an offered load that
-/// saturates the cluster (`max_copies × load_end ≥ 1` for fixed policies;
-/// `2 × load_start ≥ 1` for the adaptive mode, which replicates only below
-/// the sub-½ threshold).
+/// stored replicas, loads outside `[0, 1)` (the only stability bound a
+/// tail-only `Hedged` ramp needs), an offered load that saturates the
+/// cluster (`max_copies × load_end ≥ 1` for `Always` policies,
+/// `2 × load_start ≥ 1` for the adaptive mode, which replicates only
+/// below the sub-½ threshold), estimated-mode parameters with
+/// `min_samples` outside `[2, window]`, or estimated moments combined
+/// with PS cancellation (the purged in-flight loser censors the
+/// completion-based sample — see the validation comment).
 pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     assert!(cfg.servers > 0 && cfg.shards > 0 && cfg.requests > 0);
     assert!(
@@ -352,13 +522,22 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                 policy.max_copies(),
                 cfg.stored_replicas
             );
-            assert!(
-                policy.max_copies() as f64 * max_load < 1.0,
-                "fixed policy saturates: k*load = {}",
-                policy.max_copies() as f64 * max_load
-            );
+            match *policy {
+                // A hedge only duplicates the slow tail, so `k·load` is a
+                // wild overestimate of its offered work; the general
+                // loads-in-[0, 1) assert above is the only static
+                // stability requirement. (A hedge ramp whose fire-rate
+                // feedback saturates a server is a legitimate experiment
+                // outcome, not a config error.)
+                Policy::Hedged { .. } => {}
+                _ => assert!(
+                    policy.max_copies() as f64 * max_load < 1.0,
+                    "fixed policy saturates: k*load = {}",
+                    policy.max_copies() as f64 * max_load
+                ),
+            }
         }
-        Frontend::Adaptive { .. } => {
+        Frontend::Adaptive { moments, .. } => {
             assert!(
                 cfg.stored_replicas >= 2,
                 "adaptive mode needs at least 2 stored replicas"
@@ -368,7 +547,36 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                 "adaptive ramp starts saturated: 2*load_start = {}",
                 2.0 * cfg.load_start
             );
+            if let MomentSource::Estimated {
+                window,
+                min_samples,
+                recalibrate,
+            } = moments
+            {
+                assert!(
+                    *min_samples >= 2 && *min_samples <= *window,
+                    "min_samples must be in [2, window]"
+                );
+                assert!(*recalibrate >= 1, "recalibrate cadence must be >= 1");
+                // The estimator samples completed copies. FIFO cancellation
+                // only purges *queued* copies — a value-independent drop —
+                // but PS cancellation kills the in-flight loser, which is
+                // systematically the larger-demand copy, so the estimator
+                // would measure min(demands) and calibrate a biased
+                // threshold. Rejected until an unbiased observation
+                // channel (e.g. dispatch-time reporting) exists.
+                assert!(
+                    !(cfg.cancellation && cfg.discipline == Discipline::Ps),
+                    "estimated moments are censored-biased under PS cancellation"
+                );
+            }
         }
+    }
+    if let Some(pop) = &cfg.popularity {
+        assert!(
+            !pop.values().is_empty(),
+            "popularity distribution is empty"
+        );
     }
 
     let mean_service = cfg.service.mean();
@@ -385,9 +593,34 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     let total = cfg.warmup + cfg.requests;
 
     let mut estimator = match cfg.frontend {
-        Frontend::Adaptive { window } => Some(RateEstimator::new(window)),
+        Frontend::Adaptive { window, .. } => Some(RateEstimator::new(window)),
         Frontend::Fixed(_) => None,
     };
+    // Online service-moment estimation (estimated mode only): the
+    // estimator ingests per-copy service durations as servers report
+    // completions; the threshold is re-derived on a cadence through a
+    // quantized-SCV memo cache. Until `min_samples` durations are in, the
+    // clairvoyant threshold is the warm-up fallback.
+    let (mut moment_est, min_samples, recalibrate) = match &cfg.frontend {
+        Frontend::Adaptive {
+            moments:
+                MomentSource::Estimated {
+                    window,
+                    min_samples,
+                    recalibrate,
+                },
+            ..
+        } => (
+            Some(MomentEstimator::new(*window)),
+            *min_samples,
+            *recalibrate as u64,
+        ),
+        _ => (None, 0, 1),
+    };
+    let mut threshold_cache = ThresholdCache::new();
+    let mut live_threshold = threshold;
+    let mut observed: u64 = 0;
+    let mut recalibrations: u64 = 0;
 
     let mut fifo: Vec<FifoServer> = Vec::new();
     let mut ps: Vec<PsServer> = Vec::new();
@@ -442,7 +675,7 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
         ($s:expr, $now:expr) => {{
             let srv = &mut fifo[$s];
             if let Some((req, svc)) = srv.queue.pop_front() {
-                srv.in_service = Some(req);
+                srv.in_service = Some((req, svc));
                 srv.busy += svc;
                 q.push(
                     SimTime::from_secs($now + svc),
@@ -450,6 +683,23 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                 );
             } else {
                 srv.in_service = None;
+            }
+        }};
+    }
+    // A server reports its measured per-copy service duration with each
+    // completion; in estimated mode the front-end feeds it to the moment
+    // estimator and periodically re-derives the threshold from the live
+    // (mean, SCV) through the quantized-grid cache.
+    macro_rules! observe_service {
+        ($svc:expr) => {{
+            if let Some(me) = moment_est.as_mut() {
+                me.observe($svc);
+                observed += 1;
+                if me.len() >= min_samples && observed % recalibrate == 0 {
+                    live_threshold =
+                        threshold_cache.threshold(me.mean(), me.scv(), cfg.client_overhead);
+                    recalibrations += 1;
+                }
             }
         }};
     }
@@ -512,25 +762,42 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                     Frontend::Adaptive { .. } => {
                         let est = estimator.as_mut().expect("adaptive estimator");
                         est.observe_arrival(t);
-                        // The planner's advice at the live estimate: its
-                        // threshold is precomputed (it depends only on the
-                        // workload profile), so the per-request decision is
-                        // the threshold comparison `advise` would perform.
+                        // The planner's advice at the live estimates: the
+                        // threshold is either the precomputed clairvoyant
+                        // one or the latest recalibration from measured
+                        // moments, and the utilization estimate uses the
+                        // live mean once it is trusted — so the decision
+                        // is the comparison `advise` would perform, with
+                        // every input measured.
+                        let live_mean = match moment_est.as_ref() {
+                            Some(me) if me.len() >= min_samples => me.mean(),
+                            _ => mean_service,
+                        };
                         let rho = if est.is_warm() {
-                            est.utilization(mean_service, cfg.servers)
+                            est.utilization(live_mean, cfg.servers)
                         } else {
                             cfg.load_start
                         };
-                        (if rho < threshold { 2 } else { 1 }, None)
+                        (if rho < live_threshold { 2 } else { 1 }, None)
                     }
                 };
 
-                // Shard placement: stored replicas via the ring, then the
-                // query-time copies among them (k = 1 load-balances).
-                let shard = place_rng.index(cfg.shards) as u64;
+                // Shard placement: key drawn from the popularity mix
+                // (uniform by default), stored replicas via the ring, then
+                // the query-time copies among them (k = 1 load-balances).
+                let shard = match &cfg.popularity {
+                    None => place_rng.index(cfg.shards) as u64,
+                    Some(d) => shard_of(d.sample(&mut place_rng), cfg.shards) as u64,
+                };
                 let stored = ring.replicas(shard, cfg.stored_replicas);
                 let k = copies.min(stored.len());
-                let targets: Vec<u16> = if k == stored.len() {
+                // Shuffle unless every stored copy is dispatched at once:
+                // a k = 1 read load-balances across the stored pair, and a
+                // hedged request must load-balance its *primary* the same
+                // way (the hedge then targets the leftovers) — otherwise
+                // hedging would concentrate first copies on ring primaries
+                // and carry a worse base load split than `Single`.
+                let targets: Vec<u16> = if k == stored.len() && hedge_after.is_none() {
                     stored.iter().map(|&s| s as u16).collect()
                 } else {
                     let mut order: Vec<usize> = (0..stored.len()).collect();
@@ -594,6 +861,7 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                         ps[s].advance(t);
                         ps[s].jobs.push(PsJob {
                             req,
+                            size: svc,
                             remaining: svc,
                         });
                         ps_reschedule!(s, t);
@@ -602,7 +870,8 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             }
             Ev::FifoDepart { server } => {
                 let s = server as usize;
-                let req = fifo[s].in_service.take().expect("depart with idle server");
+                let (req, svc) = fifo[s].in_service.take().expect("depart with idle server");
+                observe_service!(svc);
                 q.push(
                     SimTime::from_secs(t + cfg.propagation),
                     Ev::Response { req, server },
@@ -627,6 +896,7 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                     continue;
                 };
                 let job = ps[s].jobs.remove(idx);
+                observe_service!(job.size);
                 q.push(
                     SimTime::from_secs(t + cfg.propagation),
                     Ev::Response {
@@ -724,10 +994,21 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
 
     let curve: Vec<(f64, f64)> = buckets.iter().map(|b| (b.load, b.frac_k2())).collect();
 
+    let (est_mean_service, est_scv) = match moment_est.as_ref() {
+        Some(me) if me.len() >= min_samples => (me.mean(), me.scv()),
+        _ => (f64::NAN, f64::NAN),
+    };
     ServiceResult {
         response,
         switch_off: switch_off_load(&curve),
         planner_threshold: threshold,
+        live_threshold: match &cfg.frontend {
+            Frontend::Fixed(_) => f64::NAN,
+            Frontend::Adaptive { .. } => live_threshold,
+        },
+        est_mean_service,
+        est_scv,
+        recalibrations,
         buckets,
         copies_issued,
         copies_cancelled,
@@ -892,7 +1173,7 @@ mod tests {
         let mut cfg = ServiceConfig::ramp(exp_service(), 0.05, 0.6);
         cfg.requests = 60_000;
         cfg.warmup = 6_000;
-        if let Frontend::Adaptive { window } = &mut cfg.frontend {
+        if let Frontend::Adaptive { window, .. } = &mut cfg.frontend {
             *window = 1024;
         }
         let out = run(&cfg);
@@ -929,8 +1210,223 @@ mod tests {
     }
 
     #[test]
+    fn switch_off_degenerate_curves_report_nan() {
+        // Single bucket: nothing to interpolate, whichever side of ½.
+        assert!(switch_off_load(&[(0.3, 1.0)]).is_nan());
+        assert!(switch_off_load(&[(0.3, 0.0)]).is_nan());
+        // Entirely above ½ (ramp inside the replicate region) or entirely
+        // below it (fixed Single): no crossing.
+        assert!(switch_off_load(&[(0.1, 0.9), (0.2, 0.8), (0.3, 0.6)]).is_nan());
+        assert!(switch_off_load(&[(0.1, 0.4), (0.2, 0.3), (0.3, 0.1)]).is_nan());
+        // All-NaN fractions (no measured bucket) and NaN loads.
+        assert!(switch_off_load(&[(0.1, f64::NAN), (0.2, f64::NAN)]).is_nan());
+        assert!(switch_off_load(&[(f64::NAN, 1.0), (f64::NAN, 0.0)]).is_nan());
+        // A NaN load is skipped like an empty bucket: the crossing
+        // interpolates between its finite neighbours.
+        let x = switch_off_load(&[(0.1, 1.0), (f64::NAN, 0.7), (0.3, 0.0)]);
+        assert!((x - 0.2).abs() < 1e-9, "{x}");
+        // Upward-only crossing (starts low, ends high): never switches
+        // *off*, so NaN — not a garbage backward interpolation.
+        assert!(switch_off_load(&[(0.1, 0.2), (0.2, 0.6), (0.3, 0.9)]).is_nan());
+    }
+
+    #[test]
+    fn switch_off_non_monotone_takes_last_crossing() {
+        // Estimator jitter around the threshold: down, back up, down for
+        // good. The reported point is the *last* downward crossing.
+        let curve = [
+            (0.1, 1.0),
+            (0.2, 0.4), // first crossing at 0.1833...
+            (0.3, 0.8), // jitters back above
+            (0.4, 0.0), // final crossing: 0.3 + 0.1*(0.3/0.8) = 0.3375
+        ];
+        let x = switch_off_load(&curve);
+        assert!((x - 0.3375).abs() < 1e-12, "{x}");
+        // Plateau exactly at ½, then a drop: crossing pinned to the
+        // plateau's last point, not interpolated into the drop.
+        let plateau = [(0.1, 0.5), (0.2, 0.5), (0.3, 0.1)];
+        let x = switch_off_load(&plateau);
+        assert!((x - 0.2).abs() < 1e-12, "{x}");
+    }
+
+    #[test]
     #[should_panic(expected = "saturates")]
     fn saturating_fixed_policy_panics() {
         let _ = run(&flat(Policy::Always { copies: 2 }, 0.55));
+    }
+
+    fn estimated_ramp(lo: f64, hi: f64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::ramp(exp_service(), lo, hi);
+        cfg.requests = 60_000;
+        cfg.warmup = 6_000;
+        cfg.frontend = Frontend::Adaptive {
+            window: 1024,
+            moments: MomentSource::estimated(),
+        };
+        cfg
+    }
+
+    #[test]
+    fn estimated_mode_learns_the_exponential_moments_and_threshold() {
+        let out = run(&estimated_ramp(0.05, 0.6));
+        assert_eq!(out.completed, 60_000);
+        assert!(out.recalibrations > 0, "never recalibrated");
+        // The live estimates converge on the config truth...
+        assert!(
+            (out.est_mean_service - 1.0e-3).abs() / 1.0e-3 < 0.1,
+            "est mean {}",
+            out.est_mean_service
+        );
+        assert!((out.est_scv - 1.0).abs() < 0.25, "est scv {}", out.est_scv);
+        // ...so the recalibrated threshold lands on the offline one, and
+        // the observable switch-off follows it.
+        assert!(
+            (out.live_threshold - out.planner_threshold).abs() < 0.01,
+            "live {} vs offline {}",
+            out.live_threshold,
+            out.planner_threshold
+        );
+        assert!(
+            (out.switch_off - out.planner_threshold).abs() < 0.08,
+            "switch-off {} vs threshold {}",
+            out.switch_off,
+            out.planner_threshold
+        );
+    }
+
+    #[test]
+    fn estimated_mode_tracks_the_service_law_it_actually_sees() {
+        // Swap the workload to deterministic service: the estimator must
+        // measure scv ~ 0 and recalibrate onto the deterministic
+        // threshold (~0.293), not stay anywhere near the exponential 1/3.
+        let mut cfg = estimated_ramp(0.05, 0.55);
+        cfg.service = Arc::new(simcore::dist::Deterministic::new(1.0e-3));
+        let out = run(&cfg);
+        assert!(out.est_scv < 0.05, "est scv {}", out.est_scv);
+        assert!(
+            (out.live_threshold - 0.2929).abs() < 0.01,
+            "live threshold {}",
+            out.live_threshold
+        );
+    }
+
+    #[test]
+    fn clairvoyant_mode_reports_nan_estimates() {
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.1, 0.5);
+        cfg.requests = 10_000;
+        cfg.warmup = 1_000;
+        let out = run(&cfg);
+        assert!(out.est_mean_service.is_nan() && out.est_scv.is_nan());
+        assert_eq!(out.recalibrations, 0);
+        assert_eq!(out.live_threshold.to_bits(), out.planner_threshold.to_bits());
+        let fixed = run(&flat(Policy::Single, 0.3));
+        assert!(fixed.live_threshold.is_nan());
+    }
+
+    #[test]
+    fn zipf_popularity_concentrates_load_on_hot_servers() {
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        cfg.frontend = Frontend::Fixed(Policy::Single);
+        cfg.requests = 30_000;
+        cfg.warmup = 3_000;
+        cfg.buckets = 1;
+        let uniform_shares = stored_load_shares(&cfg);
+        assert!((uniform_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let fair = 1.0 / cfg.servers as f64;
+        let u_max = uniform_shares.iter().cloned().fold(0.0, f64::max);
+        cfg.popularity = Some(zipf_popularity(cfg.shards, 1.0));
+        let skew_shares = stored_load_shares(&cfg);
+        assert!((skew_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let s_max = skew_shares.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            s_max > u_max + 0.02 && s_max > 1.3 * fair,
+            "zipf hot share {s_max} vs uniform max {u_max}"
+        );
+        // The hot server's queueing shows up as a worse tail than the
+        // uniform mix at the same offered load.
+        let skew_out = run(&cfg);
+        cfg.popularity = None;
+        let unif_out = run(&cfg);
+        assert_eq!(skew_out.completed, cfg.requests);
+        let (mut s_resp, mut u_resp) = (skew_out.response, unif_out.response);
+        assert!(
+            s_resp.quantile(0.99) > u_resp.quantile(0.99),
+            "skew p99 {} vs uniform p99 {}",
+            s_resp.quantile(0.99),
+            u_resp.quantile(0.99)
+        );
+    }
+
+    #[test]
+    fn hedged_policy_rides_the_ramp() {
+        // The hedged fixed policy is now legal on a ramp whose top the
+        // Always-2 assertion would reject (2 × 0.6 > 1): hedges only
+        // duplicate the tail.
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.1, 0.6);
+        cfg.frontend = Frontend::Fixed(Policy::Hedged {
+            copies: 2,
+            after: Duration::from_micros(8_000),
+        });
+        cfg.cancellation = true;
+        cfg.requests = 30_000;
+        cfg.warmup = 3_000;
+        let out = run(&cfg);
+        assert_eq!(out.completed, cfg.requests);
+        let total = (cfg.requests + cfg.warmup) as u64;
+        assert!(out.copies_issued > total, "no hedge ever fired");
+        // Fired-hedge fraction climbs with load: the last bucket's tail is
+        // deeper than the first's.
+        let first = out.buckets.first().unwrap().frac_k2();
+        let last = out.buckets.last().unwrap().frac_k2();
+        assert!(last > first, "hedge firing should climb: {first} vs {last}");
+        assert!(out.switch_off.is_nan(), "a hedge ramp never 'switches off'");
+    }
+
+    #[test]
+    #[should_panic(expected = "censored-biased")]
+    fn estimated_moments_under_ps_cancellation_rejected() {
+        // Under PS, cancellation purges the in-flight *loser* — the
+        // larger-demand copy — so completion-based moment estimation
+        // would sample min(demands). The config is rejected outright.
+        let mut cfg = estimated_ramp(0.05, 0.4);
+        cfg.discipline = Discipline::Ps;
+        cfg.cancellation = true;
+        let _ = run(&cfg);
+    }
+
+    #[test]
+    fn stored_load_shares_attributes_weight_by_value_not_order() {
+        // A popularity whose values are NOT in construction order: the
+        // helper must attribute each weight to the shard run() would
+        // actually sample, matching an independent by-value computation.
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        cfg.shards = 4;
+        cfg.popularity = Some(Arc::new(simcore::dist::DiscreteEmpirical::new(&[
+            (3.0, 0.6),
+            (0.0, 0.25),
+            (2.0, 0.15),
+        ])));
+        let shares = stored_load_shares(&cfg);
+        let ring = crate::hashring::HashRing::new(cfg.servers, cfg.vnodes);
+        let mut expect = vec![0.0f64; cfg.servers];
+        for (shard, w) in [(3u64, 0.6), (0, 0.25), (2, 0.15)] {
+            for s in ring.replicas(shard, cfg.stored_replicas) {
+                expect[s] += w / cfg.stored_replicas as f64;
+            }
+        }
+        for (got, want) in shares.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12, "{shares:?} vs {expect:?}");
+        }
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moment_helper_distributions_hit_their_means() {
+        let w = weibull_with_mean(2.0, 1.0e-3);
+        assert!((w.mean() - 1.0e-3).abs() < 1e-12);
+        assert!(w.scv() < 1.0, "shape-2 Weibull is light-tailed");
+        let bp = bounded_pareto_with_mean(1.4, 1000.0, 1.0e-3);
+        assert!((bp.mean() - 1.0e-3).abs() / 1.0e-3 < 1e-9);
+        assert!(bp.scv() > 5.0, "wide Pareto should be heavy: {}", bp.scv());
     }
 }

@@ -78,6 +78,68 @@ else
   fails=$((fails + 1))
 fi
 
+# fig-service-est: the fully self-calibrating planner (rate, mean, and SCV
+# all measured online) must land its switch-off within +-0.08 of the
+# offline threshold, and within +-0.08 of the clairvoyant run it replaces.
+if [ -f "$dir/fig-service-est.txt" ]; then
+  est=$(grep -o 'estimated switch-off load: [0-9.]*' "$dir/fig-service-est.txt" | grep -o '[0-9.]*$')
+  cl=$(grep -o 'clairvoyant switch-off load: [0-9.]*' "$dir/fig-service-est.txt" | grep -o '[0-9.]*$')
+  th=$(grep -o 'offline threshold: [0-9.]*' "$dir/fig-service-est.txt" | grep -o '[0-9.]*$')
+  if [ -n "$est" ] && [ -n "$cl" ] && [ -n "$th" ] && \
+     awk "BEGIN { d = $est - $th; if (d < 0) d = -d; e = $est - $cl; if (e < 0) e = -e; exit !(d <= 0.08 && e <= 0.08) }"; then
+    echo "ok   fig-service-est: estimated switch-off $est within 0.08 of threshold $th (clairvoyant $cl)"
+  else
+    echo "FAIL fig-service-est: estimated '$est' vs threshold '$th' / clairvoyant '$cl' out of band"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-est: missing $dir/fig-service-est.txt"
+  fails=$((fails + 1))
+fi
+
+# fig-service-tail: the two-moment planner's threshold peaks at scv = 1, so
+# the self-calibrated heavy-tail switch-off must sit below the exponential
+# one (and strictly: the quick-mode gap measures ~ -0.02).
+if [ -f "$dir/fig-service-tail.txt" ]; then
+  hv=$(grep -o 'heavy-tail switch-off load: [0-9.]*' "$dir/fig-service-tail.txt" | grep -o '[0-9.]*$')
+  ex=$(grep -o 'exponential switch-off load: [0-9.]*' "$dir/fig-service-tail.txt" | grep -o '[0-9.]*$')
+  if [ -n "$hv" ] && [ -n "$ex" ] && awk "BEGIN { exit !($hv < $ex) }"; then
+    echo "ok   fig-service-tail: heavy-tail switch-off $hv below exponential $ex"
+  else
+    echo "FAIL fig-service-tail: heavy-tail '$hv' not below exponential '$ex'"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-tail: missing $dir/fig-service-tail.txt"
+  fails=$((fails + 1))
+fi
+
+# fig-service-skew: the global-rate planner still flips in band under a
+# Zipf key mix, and hedging on the skewed ramp cuts the ramp-end p99 for a
+# small fired fraction.
+if [ -f "$dir/fig-service-skew.txt" ]; then
+  sk=$(grep -o 'skewed switch-off load: [0-9.]*' "$dir/fig-service-skew.txt" | grep -o '[0-9.]*$')
+  th=$(grep -o 'offline threshold: [0-9.]*' "$dir/fig-service-skew.txt" | grep -o '[0-9.]*$')
+  ratio=$(grep -o 'ratio [0-9.]*' "$dir/fig-service-skew.txt" | grep -o '[0-9.]*$')
+  fired=$(grep -o 'hedge fired fraction: [0-9.]*' "$dir/fig-service-skew.txt" | grep -o '[0-9.]*$')
+  if [ -n "$sk" ] && [ -n "$th" ] && awk "BEGIN { d = $sk - $th; if (d < 0) d = -d; exit !(d <= 0.08) }"; then
+    echo "ok   fig-service-skew: skewed switch-off $sk within 0.08 of threshold $th"
+  else
+    echo "FAIL fig-service-skew: skewed switch-off '$sk' vs threshold '$th' out of band"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$ratio" ] && [ -n "$fired" ] && \
+     awk "BEGIN { exit !($ratio < 0.97 && $fired > 0.001 && $fired < 0.3) }"; then
+    echo "ok   fig-service-skew: hedged/single ramp-end p99 ratio $ratio < 0.97, fired fraction $fired in (0.001, 0.3)"
+  else
+    echo "FAIL fig-service-skew: hedge ratio '$ratio' / fired fraction '$fired' out of band"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-skew: missing $dir/fig-service-skew.txt"
+  fails=$((fails + 1))
+fi
+
 # Fig 16: 10-server mean reduction in the recorded band, tail strong.
 check "fig16: k=10 mean reduction in [35, 80], p99 > 30" fig16.txt \
   'if ($1 == "10" && $2 >= 35 && $2 <= 80 && $5 > 30) ok = 1'

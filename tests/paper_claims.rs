@@ -114,6 +114,92 @@ fn service_layer_flips_at_the_offline_threshold() {
     );
 }
 
+/// Pulls the first numeric token after a `# tag:` headline line.
+fn grab_headline(out: &str, tag: &str) -> f64 {
+    out.lines()
+        .find_map(|l| l.strip_prefix(tag))
+        .unwrap_or_else(|| panic!("missing '{tag}' in:\n{out}"))
+        .split_whitespace()
+        .next()
+        .expect("empty headline")
+        .parse()
+        .expect("numeric headline")
+}
+
+/// The self-calibrating planner: with *every* input measured — arrival
+/// rate, mean service time, and SCV — the live switch-off must land within
+/// ±0.08 of the offline §2.1 threshold, and within the same band of the
+/// clairvoyant run it replaces.
+#[test]
+fn estimated_mode_switch_off_lands_in_band() {
+    let out = run_experiment("fig-service-est", Effort::Quick);
+    let est = grab_headline(&out, "# estimated switch-off load:");
+    let clair = grab_headline(&out, "# clairvoyant switch-off load:");
+    let threshold = grab_headline(&out, "# offline threshold:");
+    assert!(
+        (threshold - 1.0 / 3.0).abs() < 0.01,
+        "offline threshold {threshold} != 1/3"
+    );
+    assert!(
+        (est - threshold).abs() <= 0.08,
+        "estimated switch-off {est} vs offline threshold {threshold}"
+    );
+    assert!(
+        (est - clair).abs() <= 0.08,
+        "estimated switch-off {est} vs clairvoyant {clair}"
+    );
+    // The calibration itself must have converged on the config truth.
+    let mean = grab_headline(&out, "# estimated final mean service:");
+    let scv = grab_headline(&out, "# estimated final scv:");
+    assert!((mean - 1.0e-3).abs() / 1.0e-3 < 0.1, "est mean {mean}");
+    assert!((scv - 1.0).abs() < 0.25, "est scv {scv}");
+}
+
+/// Service-shape ordering through the self-calibrating service: the
+/// two-moment planner's threshold peaks at scv = 1 (its approximation is
+/// exact for M/M/1 and degrades toward the deterministic floor on both
+/// sides — the documented regime of the paper's own Myers–Vernon
+/// stand-in), so the measured heavy-tail switch-off must sit *below* the
+/// exponential one, and every workload's switch-off must land within
+/// ±0.08 of its own offline threshold.
+#[test]
+fn heavy_tail_switch_off_sits_below_exponential() {
+    let out = run_experiment("fig-service-tail", Effort::Quick);
+    let heavy = grab_headline(&out, "# heavy-tail switch-off load:");
+    let exp = grab_headline(&out, "# exponential switch-off load:");
+    assert!(
+        heavy < exp,
+        "heavy-tail switch-off {heavy} not below exponential {exp}"
+    );
+    // Per-workload band: the table rows carry
+    // (workload, scv_true, scv_est, offline, live, switch_off, diff).
+    let mut rows = 0;
+    for l in out.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let cells: Vec<&str> = l.split('\t').collect();
+        if cells.len() != 7 {
+            continue;
+        }
+        rows += 1;
+        let diff: f64 = cells[6].parse().expect("diff cell");
+        assert!(
+            diff.abs() <= 0.08,
+            "{}: switch-off off by {diff} from its own threshold",
+            cells[0]
+        );
+        // Self-calibration sanity: the estimated SCV is on the right side
+        // of 1 for every shape.
+        let scv_true: f64 = cells[1].parse().unwrap();
+        let scv_est: f64 = cells[2].parse().unwrap();
+        if scv_true < 0.5 {
+            assert!(scv_est < 0.7, "{}: est scv {scv_est}", cells[0]);
+        }
+        if scv_true > 2.0 {
+            assert!(scv_est > 2.0, "{}: est scv {scv_est}", cells[0]);
+        }
+    }
+    assert_eq!(rows, 3, "three workload rows expected:\n{out}");
+}
+
 /// §2.4 headline: replicating the first packets improves the small-flow
 /// median at moderate load without hurting originals.
 #[test]

@@ -337,6 +337,182 @@ fn parallel_sweeps_bit_identical_across_thread_counts() {
     }
 }
 
+/// The windowed Welford estimators (`RateEstimator`, `MomentEstimator`)
+/// agree with a brute-force recompute over the retained window to 1e-9 at
+/// every step of seeded random streams — growth, window eviction, and
+/// post-reset refill alike. This is the foundation the self-calibrating
+/// planner stands on: the O(1) sliding update must not drift from the
+/// exact window moments no matter how the stream arrived.
+#[test]
+fn windowed_estimators_match_bruteforce_across_random_streams() {
+    use low_latency_redundancy::redundancy::prelude::{MomentEstimator, RateEstimator};
+
+    fn naive(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    let mut rng = Rng::seed_from(0xE571);
+    for case in 0..30 {
+        let window = 2 + rng.index(60);
+        let n = window * 3 + rng.index(200);
+        // Mix scales so the stream is not benignly homogeneous: rare
+        // 100x spikes stress the sliding update's cancellation error.
+        let xs: Vec<f64> = (0..n)
+            .map(|_| {
+                let base = rng.exponential(4.0);
+                if rng.chance(0.05) {
+                    base * 100.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let mut rate = RateEstimator::new(window);
+        let mut moments = MomentEstimator::new(window);
+        // Exercise the reset path mid-stream on half the cases.
+        let reset_at = if case % 2 == 0 { Some(n / 2) } else { None };
+        let mut held: Vec<f64> = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if reset_at == Some(i) {
+                rate.reset();
+                moments.reset();
+                held.clear();
+            }
+            rate.push_gap(x);
+            moments.observe(x);
+            held.push(x);
+            let lo = held.len().saturating_sub(window);
+            let (mean, var) = naive(&held[lo..]);
+            for (label, got_mean, got_var) in [
+                ("rate", rate.mean_gap(), rate.gap_variance()),
+                ("moments", moments.mean(), moments.variance()),
+            ] {
+                assert!(
+                    (got_mean - mean).abs() < 1e-9,
+                    "case {case} step {i} {label}: mean {got_mean} vs {mean}"
+                );
+                let got_var_ok = if held.len() - lo < 2 {
+                    got_var == 0.0
+                } else {
+                    (got_var - var).abs() < 1e-9 * var.max(1.0)
+                };
+                assert!(
+                    got_var_ok,
+                    "case {case} step {i} {label}: var {got_var} vs {var}"
+                );
+            }
+            if held.len() - lo >= 2 && moments.mean() > 0.0 {
+                let (mean, var) = naive(&held[lo..]);
+                assert!(
+                    (moments.scv() - var / (mean * mean)).abs() < 1e-9 * (var / (mean * mean)).max(1.0),
+                    "case {case} step {i}: scv"
+                );
+            }
+        }
+    }
+}
+
+/// Every new service-layer scenario — estimated-moment calibration,
+/// heavy-tailed service, skewed keys, and a hedged ramp — produces
+/// bit-identical aggregate outcomes at 1 and 8 runner threads, matching
+/// the PR 2 engine contract (per-task randomness forked by index, never
+/// execution order). The full `repro` reports are additionally byte-diffed
+/// serial-vs-parallel in CI for all registered ids, the three new service
+/// experiments included.
+#[test]
+fn service_scenarios_bit_identical_across_thread_counts() {
+    use low_latency_redundancy::redundancy::policy::Policy;
+    use low_latency_redundancy::simcore::dist::Exponential;
+    use low_latency_redundancy::simcore::runner::Runner;
+    use low_latency_redundancy::storesim::experiments::run_service_ramp_on;
+    use low_latency_redundancy::storesim::service::{
+        bounded_pareto_with_mean, zipf_popularity, Frontend, MomentSource, ServiceConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let small = |mut cfg: ServiceConfig| {
+        cfg.requests = 8_000;
+        cfg.warmup = 800;
+        cfg.buckets = 8;
+        cfg
+    };
+    let estimated = Frontend::Adaptive {
+        window: 512,
+        moments: MomentSource::Estimated {
+            window: 2048,
+            min_samples: 128,
+            recalibrate: 256,
+        },
+    };
+
+    let mut scenarios: Vec<(&str, ServiceConfig)> = Vec::new();
+    let mut est = small(ServiceConfig::ramp(
+        Arc::new(Exponential::with_mean(1.0e-3)),
+        0.05,
+        0.55,
+    ));
+    est.frontend = estimated.clone();
+    scenarios.push(("estimated", est));
+    let mut tail = small(ServiceConfig::ramp(
+        Arc::new(bounded_pareto_with_mean(1.4, 1000.0, 1.0e-3)),
+        0.05,
+        0.5,
+    ));
+    tail.frontend = estimated.clone();
+    scenarios.push(("heavy-tail", tail));
+    let mut skew = small(ServiceConfig::ramp(
+        Arc::new(Exponential::with_mean(1.0e-3)),
+        0.05,
+        0.45,
+    ));
+    skew.frontend = estimated;
+    skew.popularity = Some(zipf_popularity(skew.shards, 0.6));
+    scenarios.push(("skewed", skew));
+    let mut hedged = small(ServiceConfig::ramp(
+        Arc::new(Exponential::with_mean(1.0e-3)),
+        0.05,
+        0.45,
+    ));
+    hedged.frontend = Frontend::Fixed(Policy::Hedged {
+        copies: 2,
+        after: Duration::from_micros(8_000),
+    });
+    hedged.cancellation = true;
+    scenarios.push(("hedged", hedged));
+
+    for (name, cfg) in &scenarios {
+        let serial = run_service_ramp_on(&Runner::new(1), cfg, 2);
+        let parallel = run_service_ramp_on(&Runner::new(8), cfg, 2);
+        assert_eq!(
+            serial.switch_off.to_bits(),
+            parallel.switch_off.to_bits(),
+            "{name}: switch-off diverged"
+        );
+        for (field, a, b) in [
+            ("live_threshold", serial.live_threshold, parallel.live_threshold),
+            ("est_mean", serial.est_mean_service, parallel.est_mean_service),
+            ("est_scv", serial.est_scv, parallel.est_scv),
+            ("cancel", serial.cancel_fraction, parallel.cancel_fraction),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}: {field} diverged");
+        }
+        for (i, (a, b)) in serial.rows.iter().zip(&parallel.rows).enumerate() {
+            assert_eq!(a.requests, b.requests, "{name} row {i}");
+            assert_eq!(a.frac_k2.to_bits(), b.frac_k2.to_bits(), "{name} row {i}");
+            assert_eq!(
+                a.mean_response.to_bits(),
+                b.mean_response.to_bits(),
+                "{name} row {i}"
+            );
+            assert_eq!(a.p99.to_bits(), b.p99.to_bits(), "{name} row {i}");
+        }
+    }
+}
+
 /// Deterministic cross-crate check: racing thread replicas through the
 /// real library returns the known-fastest one.
 #[test]
