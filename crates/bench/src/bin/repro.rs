@@ -4,6 +4,7 @@
 //! repro <id>... [--quick] [--threads N] [--out DIR]    run specific experiments
 //! repro all     [--quick] [--threads N] [--out DIR]    run everything, paper order
 //! repro list                                           show available ids
+//! repro list --figures                                 only the `all` set (CI coverage guard)
 //! ```
 //!
 //! Output goes to stdout; with `--out DIR` each experiment is also written
@@ -25,10 +26,13 @@ fn main() {
     let mut effort = Effort::Full;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut figures_only = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => effort = Effort::Quick,
+            "--figures" => figures_only = true,
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => simcore::runner::set_global_threads(n),
                 _ => {
@@ -43,12 +47,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            "list" => {
-                for id in ALL_IDS.iter().chain(ABLATION_IDS).chain(&["heavytail"]) {
-                    println!("{id}");
-                }
-                return;
-            }
+            "list" => list = true,
             "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
             "ablations" => ids.extend(
                 ABLATION_IDS
@@ -62,6 +61,25 @@ fn main() {
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if list {
+        // `--figures` restricts to the `repro all` set — the ids CI's
+        // serial-vs-parallel byte-diff must cover, machine-readably.
+        if figures_only {
+            for id in ALL_IDS {
+                println!("{id}");
+            }
+        } else {
+            for id in ALL_IDS.iter().chain(ABLATION_IDS).chain(&["heavytail"]) {
+                println!("{id}");
+            }
+        }
+        return;
+    }
+    if figures_only {
+        eprintln!("--figures only applies to `repro list`");
+        std::process::exit(2);
     }
 
     for id in &ids {
@@ -101,7 +119,9 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: repro <id>...|all|ablations|list [--quick] [--threads N] [--out DIR]");
+    eprintln!(
+        "usage: repro <id>...|all|ablations|list [--figures] [--quick] [--threads N] [--out DIR]"
+    );
     eprintln!("figures:   {}", ALL_IDS.join(" "));
     eprintln!("ablations: {} heavytail", ABLATION_IDS.join(" "));
 }

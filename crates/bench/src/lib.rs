@@ -64,6 +64,8 @@ pub const ALL_IDS: &[&str] = &[
     "fig-service-est",
     "fig-service-tail",
     "fig-service-skew",
+    "fig-service-skew-aware",
+    "fig-service-ps-est",
     "fig14a",
     "fig14b",
     "fig14c",
@@ -101,6 +103,8 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig-service-est" => store::fig_service_est(effort),
         "fig-service-tail" => store::fig_service_tail(effort),
         "fig-service-skew" => store::fig_service_skew(effort),
+        "fig-service-skew-aware" => store::fig_service_skew_aware(effort),
+        "fig-service-ps-est" => store::fig_service_ps_est(effort),
         "fig14a" => network::fig14a(effort),
         "fig14b" => network::fig14b(effort),
         "fig14c" => network::fig14c(effort),

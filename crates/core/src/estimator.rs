@@ -208,6 +208,121 @@ impl RateEstimator {
     }
 }
 
+/// An indexed array of resettable [`RateEstimator`]s — one per server —
+/// turning a *routed* arrival stream into the **per-server load shape**
+/// that per-request replication decisions need.
+///
+/// A single [`RateEstimator`] measures the front-end's aggregate rate,
+/// which is the right input only when load is balanced; under a skewed
+/// key mix the hottest server can run far above the cluster mean while
+/// the global estimate never moves (the load-shape blindness Sparrow's
+/// batch-sampling argument is about). The bank keeps one windowed gap
+/// estimator per server: the caller reports each arrival *to the servers
+/// it concerns* (e.g. every stored replica of the requested shard, at
+/// dispatch time), and reads back per-server rates and utilizations that
+/// a planner can compare against the §2.1 threshold *per request* — so
+/// requests whose candidate servers are cold keep replicating after
+/// requests landing on hot servers have switched off.
+///
+/// Every observation is O(1) (the shared [`WindowedWelford`] core), state
+/// is O(servers × window), and each index can be [`reset`](Self::reset)
+/// independently (a server that failed over should not poison its
+/// successor's window with the discontinuity gap).
+#[derive(Clone, Debug)]
+pub struct EstimatorBank {
+    estimators: Vec<RateEstimator>,
+}
+
+impl EstimatorBank {
+    /// A bank of `n` independent estimators, each averaging over the last
+    /// `window` inter-arrival gaps.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `window < 2`.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(n >= 1, "estimator bank needs at least one index");
+        EstimatorBank {
+            estimators: (0..n).map(|_| RateEstimator::new(window)).collect(),
+        }
+    }
+
+    /// Number of indexed estimators (servers).
+    pub fn len(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// `true` when the bank holds no estimators (never, post-construction;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.estimators.is_empty()
+    }
+
+    /// The configured per-index window length (gaps).
+    pub fn window(&self) -> usize {
+        self.estimators[0].window()
+    }
+
+    /// Read access to one index's estimator (warmth, gap variance, …).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index.
+    pub fn get(&self, idx: usize) -> &RateEstimator {
+        &self.estimators[idx]
+    }
+
+    /// Records an arrival concerning server `idx` at absolute time `now`.
+    /// Clocks are per-index: only arrivals reported to the same index form
+    /// gaps, so interleaving observations across servers in any order
+    /// leaves each index's stream exactly as if it were fed alone.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index or a time preceding that index's
+    /// previous arrival.
+    pub fn observe_arrival(&mut self, idx: usize, now: f64) {
+        self.estimators[idx].observe_arrival(now);
+    }
+
+    /// Records one inter-arrival gap directly at index `idx`.
+    pub fn push_gap(&mut self, idx: usize, gap: f64) {
+        self.estimators[idx].push_gap(gap);
+    }
+
+    /// Resets one index to the cold state (window and clock anchor both
+    /// forgotten); every other index is untouched.
+    pub fn reset(&mut self, idx: usize) {
+        self.estimators[idx].reset();
+    }
+
+    /// Resets every index to the cold state.
+    pub fn reset_all(&mut self) {
+        for e in &mut self.estimators {
+            e.reset();
+        }
+    }
+
+    /// Estimated arrival rate of the stream reported to index `idx`
+    /// (0 until that index is warm).
+    pub fn rate(&self, idx: usize) -> f64 {
+        self.estimators[idx].rate()
+    }
+
+    /// Estimated **baseline** utilization of server `idx` when each
+    /// reported arrival would actually be dispatched to it with
+    /// probability `1/split`: `rate(idx) · mean_service / split`.
+    ///
+    /// The intended feeding scheme reports every request to *all* `split`
+    /// stored replicas of its shard (the candidates a k = 1 read
+    /// load-balances across), so the measured per-index rate overcounts
+    /// the true baseline arrival rate by exactly that factor — and, unlike
+    /// counting actually-dispatched copies, is independent of the current
+    /// replication decision (no feedback loop between the decision and the
+    /// estimate it reads).
+    pub fn utilization(&self, idx: usize, mean_service: f64, split: usize) -> f64 {
+        debug_assert!(mean_service > 0.0 && split > 0);
+        self.rate(idx) * mean_service / split as f64
+    }
+}
+
 /// Windowed Welford estimator of the first two **service-time moments** —
 /// the other half of the §2.1 threshold's inputs, measured online.
 ///
@@ -463,5 +578,85 @@ mod tests {
     #[should_panic(expected = "window")]
     fn moment_tiny_window_rejected() {
         let _ = MomentEstimator::new(1);
+    }
+
+    #[test]
+    fn bank_indices_are_independent_streams() {
+        // Feed two interleaved deterministic streams; each index must
+        // report exactly what a standalone estimator fed the same stream
+        // would, untouched by the other's observations.
+        let mut bank = EstimatorBank::new(3, 8);
+        let mut solo0 = RateEstimator::new(8);
+        let mut solo2 = RateEstimator::new(8);
+        let mut t = 0.0;
+        for i in 0..40 {
+            t += 0.1;
+            if i % 2 == 0 {
+                bank.observe_arrival(0, t);
+                solo0.observe_arrival(t);
+            } else {
+                bank.observe_arrival(2, t);
+                solo2.observe_arrival(t);
+            }
+        }
+        assert_eq!(bank.rate(0).to_bits(), solo0.rate().to_bits());
+        assert_eq!(bank.rate(2).to_bits(), solo2.rate().to_bits());
+        // Index 1 never saw anything: the all-idle edge reports zero.
+        assert!(bank.get(1).is_empty());
+        assert_eq!(bank.rate(1), 0.0);
+        assert_eq!(bank.utilization(1, 1.0e-3, 2), 0.0);
+        assert_eq!(bank.len(), 3);
+        assert_eq!(bank.window(), 8);
+    }
+
+    #[test]
+    fn bank_utilization_divides_by_the_split_factor() {
+        // 4 arrivals/sec reported to the index, each of which a k = 1 read
+        // would route here with probability 1/2: baseline utilization is
+        // rate * mean / 2.
+        let mut bank = EstimatorBank::new(2, 8);
+        let mut t = 0.0;
+        for _ in 0..20 {
+            bank.observe_arrival(0, t);
+            t += 0.25;
+        }
+        assert!((bank.rate(0) - 4.0).abs() < 1e-12);
+        assert!((bank.utilization(0, 0.5, 2) - 1.0).abs() < 1e-12);
+        assert!((bank.utilization(0, 0.5, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_reset_is_per_index() {
+        let mut bank = EstimatorBank::new(2, 4);
+        for i in 0..6 {
+            bank.observe_arrival(0, i as f64);
+            bank.observe_arrival(1, i as f64 * 0.5);
+        }
+        assert!(bank.get(0).is_warm() && bank.get(1).is_warm());
+        bank.reset(0);
+        assert!(bank.get(0).is_empty(), "reset index must go cold");
+        assert!(bank.get(1).is_warm(), "other index must be untouched");
+        assert!((bank.rate(1) - 2.0).abs() < 1e-12);
+        // The reset index's clock anchor is gone: a late re-anchor must
+        // not create a discontinuity gap.
+        bank.observe_arrival(0, 1_000.0);
+        assert!(bank.get(0).is_empty());
+        bank.observe_arrival(0, 1_000.25);
+        bank.observe_arrival(0, 1_000.5);
+        assert!((bank.rate(0) - 4.0).abs() < 1e-12);
+        bank.reset_all();
+        assert!(bank.get(0).is_empty() && bank.get(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index")]
+    fn empty_bank_rejected() {
+        let _ = EstimatorBank::new(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn bank_tiny_window_rejected() {
+        let _ = EstimatorBank::new(4, 1);
     }
 }

@@ -30,11 +30,14 @@
 //!   stream into the utilization estimate the planner consumes, and
 //!   [`estimator::MomentEstimator`] turns observed per-copy service
 //!   durations into the live mean and SCV the threshold depends on (both
-//!   windowed Welford accumulators). Together with
-//!   [`planner::Planner::recalibrated`] they make a front-end fully
-//!   self-calibrating: rate, mean, and variability are all measured, none
-//!   assumed — see `storesim::service` for the full loop running on
-//!   simulated traffic.
+//!   windowed Welford accumulators), while
+//!   [`estimator::EstimatorBank`] keeps one rate estimator *per server*
+//!   so [`planner::Planner::decide_for`] can make skew-aware per-request
+//!   decisions against the hottest candidate instead of the cluster
+//!   average. Together with [`planner::Planner::recalibrated`] they make
+//!   a front-end fully self-calibrating: rate, mean, and variability are
+//!   all measured, none assumed — see `storesim::service` for the full
+//!   loop running on simulated traffic.
 //!
 //! ## Quick start (threads)
 //!
@@ -76,8 +79,8 @@ pub mod tokio_exec;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::cancel::CancelToken;
-    pub use crate::estimator::{MomentEstimator, RateEstimator};
-    pub use crate::planner::{Advice, Planner, WorkloadProfile};
+    pub use crate::estimator::{EstimatorBank, MomentEstimator, RateEstimator};
+    pub use crate::planner::{Advice, PairDecision, Planner, ThresholdCache, WorkloadProfile};
     pub use crate::policy::Policy;
     pub use crate::sync_exec::{hedged, race, replica, RaceOutcome};
     #[cfg(feature = "tokio-exec")]

@@ -74,6 +74,19 @@ impl Advice {
     }
 }
 
+/// A per-request replication decision against the *load shape* — the
+/// output of [`Planner::decide_for`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairDecision {
+    /// `true` when every candidate server sits below the threshold.
+    pub replicate: bool,
+    /// The §2.1 threshold load the candidates were compared against
+    /// (resolved through the [`ThresholdCache`] grid).
+    pub threshold_load: f64,
+    /// The binding utilization: the maximum over the candidate servers.
+    pub max_load: f64,
+}
+
 /// The replication planner for 2-way replication in a fixed-size cluster.
 #[derive(Clone, Copy, Debug)]
 pub struct Planner {
@@ -137,6 +150,48 @@ impl Planner {
             }
         }
         0.5 * (lo + hi)
+    }
+
+    /// Per-request decision for one request's candidate servers: replicate
+    /// exactly when the **maximum** estimated utilization among
+    /// `pair_loads` (typically the two stored replicas of the requested
+    /// shard, from an [`crate::estimator::EstimatorBank`]) sits below this
+    /// workload's §2.1 threshold.
+    ///
+    /// This is the skew-aware refinement of [`advise`](Self::advise): a
+    /// *global* load estimate flips every request at once, while comparing
+    /// each request's own candidate pair lets requests whose servers are
+    /// cold keep replicating after requests landing on hot servers have
+    /// switched off. The max is the right aggregate because a duplicated
+    /// request adds a copy to *both* candidates — the §2.1 trade is only
+    /// safe if the busier of the two can still absorb it.
+    ///
+    /// The threshold is resolved through `cache` (the quantized
+    /// dimensionless grid), so the per-request cost is a hash lookup, not
+    /// a bisection.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate slice; debug-panics on non-finite or
+    /// negative loads.
+    pub fn decide_for(&self, cache: &mut ThresholdCache, pair_loads: &[f64]) -> PairDecision {
+        assert!(
+            !pair_loads.is_empty(),
+            "decide_for needs at least one candidate load"
+        );
+        let max_load = pair_loads.iter().fold(f64::NEG_INFINITY, |a, &b| {
+            debug_assert!(b.is_finite() && b >= 0.0, "bad candidate load {b}");
+            a.max(b)
+        });
+        let threshold_load = cache.threshold(
+            self.profile.mean_service,
+            self.profile.scv,
+            self.profile.client_overhead,
+        );
+        PairDecision {
+            replicate: max_load < threshold_load,
+            threshold_load,
+            max_load,
+        }
     }
 
     /// Advice at the given per-server utilization.
@@ -425,6 +480,51 @@ mod tests {
         assert!(at(0.27) < exp, "light tail must sit below exponential");
         assert!(at(12.0) < exp, "heavy tail must sit below exponential");
         assert!(at(12.0) > at(0.0), "heavy stays above the deterministic floor");
+    }
+
+    #[test]
+    fn decide_for_binds_on_the_hottest_candidate() {
+        let p = Planner::new(exp_profile(0.0));
+        let mut cache = ThresholdCache::new();
+        let threshold = cache.threshold(1.0, 1.0, 0.0);
+        // Both candidates cold: replicate, and the reported threshold is
+        // exactly the cached grid value.
+        let d = p.decide_for(&mut cache, &[0.1, 0.2]);
+        assert!(d.replicate);
+        assert_eq!(d.threshold_load.to_bits(), threshold.to_bits());
+        assert!((d.max_load - 0.2).abs() < 1e-12);
+        // One hot candidate vetoes replication even when the other is
+        // nearly idle — the skew-aware point of the entry point.
+        let d = p.decide_for(&mut cache, &[0.02, 0.45]);
+        assert!(!d.replicate, "hot partner must veto: {d:?}");
+        assert!((d.max_load - 0.45).abs() < 1e-12);
+        // Just below / just above the threshold flips the decision.
+        assert!(p.decide_for(&mut cache, &[threshold - 1e-6]).replicate);
+        assert!(!p.decide_for(&mut cache, &[threshold]).replicate);
+        // A single-candidate slice is legal (degenerate "pair").
+        assert!(p.decide_for(&mut cache, &[0.0]).replicate);
+    }
+
+    #[test]
+    fn decide_for_tracks_recalibrated_moments() {
+        // A deterministic workload's threshold (~0.293) is lower than the
+        // exponential 1/3: a pair load between the two must replicate
+        // under the exponential planner and not under the recalibrated
+        // deterministic one, through the same cache.
+        let mut cache = ThresholdCache::new();
+        let exp = Planner::new(exp_profile(0.0));
+        let det = exp.recalibrated(1.0, 0.0);
+        let loads = [0.30, 0.31];
+        assert!(exp.decide_for(&mut cache, &loads).replicate);
+        assert!(!det.decide_for(&mut cache, &loads).replicate);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn decide_for_rejects_empty_candidates() {
+        let p = Planner::new(exp_profile(0.0));
+        let mut cache = ThresholdCache::new();
+        let _ = p.decide_for(&mut cache, &[]);
     }
 
     #[test]

@@ -298,6 +298,14 @@ pub struct ServiceRampRow {
     pub mean_response: f64,
     /// 99th-percentile response time, seconds (mean over replications).
     pub p99: f64,
+    /// Hottest-server busy fraction in this bucket's time slice (mean
+    /// over the replications that measured one; NaN when none did).
+    pub peak_utilization: f64,
+    /// k = 2 fraction of the hot-pair requests — those whose stored
+    /// replica set includes the hottest server (NaN when none).
+    pub frac_k2_hot: f64,
+    /// k = 2 fraction of the cold-pair requests (NaN when none).
+    pub frac_k2_cold: f64,
     /// Requests aggregated into this row.
     pub requests: usize,
 }
@@ -323,6 +331,17 @@ pub struct ServiceRampOutcome {
     /// Final online SCV estimate averaged over replications (NaN unless
     /// estimated mode ran warm).
     pub est_scv: f64,
+    /// Hottest-server peak busy fraction over the whole ramp (max over
+    /// rows of [`ServiceRampRow::peak_utilization`]; NaN when nothing was
+    /// measured).
+    pub peak_utilization: f64,
+    /// Load at which the **hot-pair** k = 2 fraction crosses ½ (NaN if it
+    /// never does — e.g. fixed policies).
+    pub switch_off_hot: f64,
+    /// Load at which the **cold-pair** k = 2 fraction crosses ½. Under a
+    /// per-server planner on a skewed mix this sits strictly above
+    /// `switch_off_hot`: cold keys keep replicating longer.
+    pub switch_off_cold: f64,
 }
 
 impl ServiceRampOutcome {
@@ -394,6 +413,8 @@ pub fn run_service_ramp_on(
     for b in 0..buckets {
         let mut requests = 0usize;
         let mut k2 = 0usize;
+        let mut hot = 0usize;
+        let mut hot_k2 = 0usize;
         let mut weighted_mean = 0.0f64;
         let mut p99_sum = 0.0f64;
         let mut p99_n = 0usize;
@@ -401,12 +422,15 @@ pub fn run_service_ramp_on(
             let bk = &res.buckets[b];
             requests += bk.requests;
             k2 += bk.k2_requests;
+            hot += bk.hot_requests;
+            hot_k2 += bk.hot_k2_requests;
             if bk.requests > 0 && bk.mean_response.is_finite() {
                 weighted_mean += bk.mean_response * bk.requests as f64;
                 p99_sum += bk.p99;
                 p99_n += 1;
             }
         }
+        let cold = requests - hot;
         rows.push(ServiceRampRow {
             load: results[0].buckets[b].load,
             frac_k2: if requests == 0 {
@@ -424,20 +448,41 @@ pub fn run_service_ramp_on(
             } else {
                 p99_sum / p99_n as f64
             },
+            peak_utilization: finite_mean(
+                results.iter().map(|r| r.buckets[b].peak_utilization),
+            ),
+            frac_k2_hot: if hot == 0 {
+                f64::NAN
+            } else {
+                hot_k2 as f64 / hot as f64
+            },
+            frac_k2_cold: if cold == 0 {
+                f64::NAN
+            } else {
+                (k2 - hot_k2) as f64 / cold as f64
+            },
             requests,
         });
     }
 
     let curve: Vec<(f64, f64)> = rows.iter().map(|r| (r.load, r.frac_k2)).collect();
+    let hot_curve: Vec<(f64, f64)> = rows.iter().map(|r| (r.load, r.frac_k2_hot)).collect();
+    let cold_curve: Vec<(f64, f64)> = rows.iter().map(|r| (r.load, r.frac_k2_cold)).collect();
     let issued: u64 = results.iter().map(|r| r.copies_issued).sum();
     let cancelled: u64 = results.iter().map(|r| r.copies_cancelled).sum();
     ServiceRampOutcome {
         switch_off: service::switch_off_load(&curve),
+        switch_off_hot: service::switch_off_load(&hot_curve),
+        switch_off_cold: service::switch_off_load(&cold_curve),
         offline_threshold: results[0].planner_threshold,
         cancel_fraction: cancelled as f64 / issued.max(1) as f64,
         live_threshold: finite_mean(results.iter().map(|r| r.live_threshold)),
         est_mean_service: finite_mean(results.iter().map(|r| r.est_mean_service)),
         est_scv: finite_mean(results.iter().map(|r| r.est_scv)),
+        peak_utilization: rows
+            .iter()
+            .map(|r| r.peak_utilization)
+            .fold(f64::NAN, f64::max),
         rows,
     }
 }
@@ -549,7 +594,7 @@ mod tests {
 
     #[test]
     fn estimated_ramp_aggregates_calibration_fields() {
-        use crate::service::{Frontend, MomentSource};
+        use crate::service::{Frontend, LoadModel, MomentSource};
         let mut cfg = ServiceConfig::ramp(Arc::new(Exponential::with_mean(1.0e-3)), 0.05, 0.55);
         cfg.requests = 12_000;
         cfg.warmup = 1_200;
@@ -560,6 +605,7 @@ mod tests {
                 min_samples: 256,
                 recalibrate: 512,
             },
+            load_model: LoadModel::Global,
         };
         let out = run_service_ramp(&cfg, 2);
         // The calibration aggregates are finite means over replications and
@@ -584,6 +630,7 @@ mod tests {
         cfg.frontend = Frontend::Adaptive {
             window: 768,
             moments: MomentSource::Clairvoyant,
+            load_model: LoadModel::Global,
         };
         let clair = run_service_ramp(&cfg, 2);
         assert!(clair.est_mean_service.is_nan() && clair.est_scv.is_nan());

@@ -19,13 +19,22 @@
 //! * **Front-end** — consults [`redundancy`]'s stack per request: a
 //!   [`Policy`] (fixed `Single`/`Always`/`Hedged`, all usable on the load
 //!   ramp) or the **adaptive** mode, where a windowed arrival-rate
-//!   estimator ([`RateEstimator`]) feeds the live utilization into the
-//!   [`Planner`]'s §2.1 threshold and the request is duplicated exactly
-//!   when the estimated load is below it. The threshold itself comes from
-//!   a [`MomentSource`]: **clairvoyant** (config-supplied service moments,
-//!   the partly-omniscient PR 3 mode) or **estimated**, where a
-//!   [`MomentEstimator`] over the per-copy service durations reported by
-//!   completing servers re-derives mean, SCV, and threshold online — the
+//!   estimate feeds the live utilization into the [`Planner`]'s §2.1
+//!   threshold and the request is duplicated exactly when the estimated
+//!   load is below it. The load estimate itself has two shapes
+//!   ([`LoadModel`]): **global** — one [`RateEstimator`] over the whole
+//!   request stream, the balanced-load §2.1 assumption — or
+//!   **per-server** — an [`EstimatorBank`] entry per server, fed every
+//!   request's stored replica set at dispatch, with each request decided
+//!   by [`Planner::decide_for`] against the *maximum* utilization of its
+//!   own candidate pair, so cold keys keep replicating after hot keys
+//!   have switched off (the per-server load signal Sparrow's batch
+//!   sampling argues replicated dispatch needs). The threshold's moments
+//!   come from a [`MomentSource`]: **clairvoyant** (config-supplied
+//!   service moments, the partly-omniscient PR 3 mode) or **estimated**,
+//!   where a [`MomentEstimator`] over per-copy service durations —
+//!   reported at completion or, censoring-free, at dispatch
+//!   ([`DemandReport`]) — re-derives mean, SCV, and threshold online: the
 //!   fully self-calibrating loop (cf. Shah et al., whose answer to "when
 //!   do redundant requests reduce latency?" hinges on the service-time
 //!   shape, and Joshi et al.'s insistence that adaptive replication react
@@ -55,7 +64,7 @@
 
 use crate::hashring::HashRing;
 use redundancy::cancel::CancelToken;
-use redundancy::estimator::{MomentEstimator, RateEstimator};
+use redundancy::estimator::{EstimatorBank, MomentEstimator, RateEstimator};
 use redundancy::planner::{Planner, ThresholdCache, WorkloadProfile};
 use redundancy::policy::Policy;
 use simcore::dist::{BoundedPareto, DiscreteEmpirical, Distribution, DynDist, Weibull};
@@ -115,6 +124,40 @@ impl MomentSource {
     }
 }
 
+/// Which load estimate the adaptive front-end compares against the §2.1
+/// threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadModel {
+    /// One cluster-wide [`RateEstimator`] over the request stream: the
+    /// balanced-load assumption of §2.1, blind to the load *shape* (the
+    /// PR 4 reference mode — bit-identical output, pinned by test).
+    Global,
+    /// One [`EstimatorBank`] entry per server, fed every request's stored
+    /// replica set at dispatch; each request's decision compares the
+    /// **maximum** utilization of its own candidate pair
+    /// ([`Planner::decide_for`]) against the threshold, so requests whose
+    /// servers are cold keep replicating after hot-server requests have
+    /// switched off.
+    PerServer,
+}
+
+/// When servers report per-copy service demands to the moment estimator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DemandReport {
+    /// At copy completion (the PR 4 behavior, kept as the reference).
+    /// Under PS **cancellation** this channel is value-dependently
+    /// censored — the purged in-flight loser is systematically the
+    /// larger-demand copy, so the estimator would measure min(demands)
+    /// and calibrate a biased threshold — which is why that combination
+    /// is rejected in [`run`].
+    Completion,
+    /// At copy dispatch (arrival at the server), before any cancellation
+    /// can intervene: every issued copy's demand is observed exactly
+    /// once, making the moment sample censoring-free under every
+    /// discipline/cancellation combination.
+    Dispatch,
+}
+
 /// How the front-end picks the replication factor of each request.
 #[derive(Clone, Debug)]
 pub enum Frontend {
@@ -123,10 +166,13 @@ pub enum Frontend {
     /// Planner-driven: duplicate to 2 copies exactly while the estimated
     /// baseline utilization sits below the workload's §2.1 threshold.
     Adaptive {
-        /// Window of the arrival-rate estimator, in inter-arrival gaps.
+        /// Window of the arrival-rate estimator(s), in inter-arrival gaps
+        /// (per server in [`LoadModel::PerServer`] mode).
         window: usize,
         /// Where the threshold's service moments come from.
         moments: MomentSource,
+        /// Global vs per-server load estimation.
+        load_model: LoadModel,
     },
 }
 
@@ -152,6 +198,9 @@ pub struct ServiceConfig {
     pub popularity: Option<Arc<DiscreteEmpirical>>,
     /// Replication decision mode.
     pub frontend: Frontend,
+    /// When servers report per-copy service demands to the moment
+    /// estimator (only consulted in [`MomentSource::Estimated`] mode).
+    pub demand_report: DemandReport,
     /// Cancel losing copies once the first response arrives.
     pub cancellation: bool,
     /// One-way propagation delay between clients and servers, seconds.
@@ -191,7 +240,9 @@ impl ServiceConfig {
             frontend: Frontend::Adaptive {
                 window: 2048,
                 moments: MomentSource::Clairvoyant,
+                load_model: LoadModel::Global,
             },
+            demand_report: DemandReport::Completion,
             cancellation: false,
             propagation: 50.0e-6,
             client_overhead: 0.0,
@@ -274,6 +325,16 @@ pub fn bounded_pareto_with_mean(alpha: f64, spread: f64, mean: f64) -> BoundedPa
 /// the max entry over `1/servers` is the hot-server multiplier that
 /// drives the skewed-workload contention.
 pub fn stored_load_shares(cfg: &ServiceConfig) -> Vec<f64> {
+    assert!(
+        cfg.servers >= 1 && cfg.shards >= 1,
+        "load shares need at least one server and one shard"
+    );
+    assert!(
+        cfg.stored_replicas >= 1 && cfg.stored_replicas <= cfg.servers,
+        "cannot store {} replicas on {} servers",
+        cfg.stored_replicas,
+        cfg.servers
+    );
     // Per-shard weights, attributed exactly as `run` maps popularity
     // samples to shards: by *value* (floored and clamped), never by the
     // distribution's construction order.
@@ -295,6 +356,21 @@ pub fn stored_load_shares(cfg: &ServiceConfig) -> Vec<f64> {
     shares
 }
 
+/// The server carrying the largest expected k = 1 dispatch share under
+/// this config's popularity mix (ties resolve to the lowest index) — the
+/// "hot server" every skew experiment's accounting pivots on. With uniform
+/// popularity this is just the ring's most-loaded server.
+pub fn hottest_stored_server(cfg: &ServiceConfig) -> usize {
+    let shares = stored_load_shares(cfg);
+    let mut hot = 0;
+    for (s, &w) in shares.iter().enumerate() {
+        if w > shares[hot] {
+            hot = s;
+        }
+    }
+    hot
+}
+
 /// One bucket of the load ramp.
 #[derive(Clone, Copy, Debug)]
 pub struct RampBucket {
@@ -310,6 +386,18 @@ pub struct RampBucket {
     pub mean_response: f64,
     /// 99th-percentile response time, seconds (NaN when empty).
     pub p99: f64,
+    /// Largest per-server busy fraction over this bucket's time slice
+    /// (max over servers of busy/elapsed between the first arrivals of
+    /// this and the next bucket; NaN for a zero-width slice). FIFO busy
+    /// is accrued as a lump at service start, so a saturated stretch can
+    /// legitimately read slightly above 1.
+    pub peak_utilization: f64,
+    /// Of this bucket's measured requests, how many were **hot-pair**
+    /// requests — their shard's stored replicas include the config's
+    /// [`hottest_stored_server`].
+    pub hot_requests: usize,
+    /// Of the hot-pair requests, how many actually dispatched 2 copies.
+    pub hot_k2_requests: usize,
 }
 
 impl RampBucket {
@@ -320,6 +408,26 @@ impl RampBucket {
             f64::NAN
         } else {
             self.k2_requests as f64 / self.requests as f64
+        }
+    }
+
+    /// k = 2 fraction of the bucket's hot-pair requests (NaN when none).
+    pub fn frac_k2_hot(&self) -> f64 {
+        if self.hot_requests == 0 {
+            f64::NAN
+        } else {
+            self.hot_k2_requests as f64 / self.hot_requests as f64
+        }
+    }
+
+    /// k = 2 fraction of the bucket's cold-pair requests — those whose
+    /// stored replica set avoids the hot server (NaN when none).
+    pub fn frac_k2_cold(&self) -> f64 {
+        let cold = self.requests - self.hot_requests;
+        if cold == 0 {
+            f64::NAN
+        } else {
+            (self.k2_requests - self.hot_k2_requests) as f64 / cold as f64
         }
     }
 }
@@ -422,6 +530,9 @@ struct ReqState {
     targets: Vec<u16>,
     /// Copies dispatched so far.
     sent: u8,
+    /// The shard's stored replica set includes the config's hottest
+    /// server (per-temperature decision accounting).
+    hot: bool,
     done: bool,
     token: CancelToken,
 }
@@ -489,9 +600,11 @@ impl PsServer {
 /// cluster (`max_copies × load_end ≥ 1` for `Always` policies,
 /// `2 × load_start ≥ 1` for the adaptive mode, which replicates only
 /// below the sub-½ threshold), estimated-mode parameters with
-/// `min_samples` outside `[2, window]`, or estimated moments combined
-/// with PS cancellation (the purged in-flight loser censors the
-/// completion-based sample — see the validation comment).
+/// `min_samples` outside `[2, window]`, or **completion-reported**
+/// estimated moments combined with PS cancellation (the purged in-flight
+/// loser censors the completion-based sample — see the validation
+/// comment; [`DemandReport::Dispatch`] is the censoring-free channel that
+/// makes the combination legal).
 pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     assert!(cfg.servers > 0 && cfg.shards > 0 && cfg.requests > 0);
     assert!(
@@ -558,16 +671,21 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                     "min_samples must be in [2, window]"
                 );
                 assert!(*recalibrate >= 1, "recalibrate cadence must be >= 1");
-                // The estimator samples completed copies. FIFO cancellation
-                // only purges *queued* copies — a value-independent drop —
-                // but PS cancellation kills the in-flight loser, which is
-                // systematically the larger-demand copy, so the estimator
-                // would measure min(demands) and calibrate a biased
-                // threshold. Rejected until an unbiased observation
-                // channel (e.g. dispatch-time reporting) exists.
+                // Completion reporting samples completed copies. FIFO
+                // cancellation only purges *queued* copies — a
+                // value-independent drop — but PS cancellation kills the
+                // in-flight loser, which is systematically the
+                // larger-demand copy, so the estimator would measure
+                // min(demands) and calibrate a biased threshold. The
+                // unbiased observation channel is dispatch-time reporting
+                // ([`DemandReport::Dispatch`]), which observes every
+                // issued copy's demand before cancellation can censor it.
                 assert!(
-                    !(cfg.cancellation && cfg.discipline == Discipline::Ps),
-                    "estimated moments are censored-biased under PS cancellation"
+                    !(cfg.cancellation
+                        && cfg.discipline == Discipline::Ps
+                        && cfg.demand_report == DemandReport::Completion),
+                    "completion-reported moments are censored-biased under PS \
+                     cancellation; use DemandReport::Dispatch"
                 );
             }
         }
@@ -592,9 +710,18 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     let ring = HashRing::new(cfg.servers, cfg.vnodes);
     let total = cfg.warmup + cfg.requests;
 
-    let mut estimator = match cfg.frontend {
-        Frontend::Adaptive { window, .. } => Some(RateEstimator::new(window)),
-        Frontend::Fixed(_) => None,
+    // Load estimation: one global rate estimator, or one per server
+    // (fed each request's full stored replica set at dispatch, so the
+    // per-server estimate measures where k = 1 traffic *would* land —
+    // independent of the replication decisions actually taken).
+    let (mut estimator, mut bank) = match &cfg.frontend {
+        Frontend::Adaptive {
+            window, load_model, ..
+        } => match load_model {
+            LoadModel::Global => (Some(RateEstimator::new(*window)), None),
+            LoadModel::PerServer => (None, Some(EstimatorBank::new(cfg.servers, *window))),
+        },
+        Frontend::Fixed(_) => (None, None),
     };
     // Online service-moment estimation (estimated mode only): the
     // estimator ingests per-copy service durations as servers report
@@ -619,8 +746,28 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     };
     let mut threshold_cache = ThresholdCache::new();
     let mut live_threshold = threshold;
+    // The per-server path routes every decision through
+    // `Planner::decide_for`; this planner carries whichever moments are
+    // currently trusted (config at start, recalibrated on the estimated
+    // cadence), so its cache lookups track `live_threshold`. The two are
+    // deliberately parallel state — the global path must keep reading
+    // the direct-bisected `threshold` until its first recalibration
+    // (bit-identity with the pre-per-server code is pinned by test), so
+    // they are updated in lockstep in `observe_service!` and must stay
+    // that way.
+    let mut live_planner = planner;
     let mut observed: u64 = 0;
     let mut recalibrations: u64 = 0;
+
+    // Hot-pair accounting: a request is "hot" when its shard's stored
+    // replica set includes the most-loaded server of the configured mix.
+    let hot_server = hottest_stored_server(cfg);
+    let hot_shard: Vec<bool> = (0..cfg.shards)
+        .map(|sh| {
+            ring.replicas(sh as u64, cfg.stored_replicas)
+                .contains(&hot_server)
+        })
+        .collect();
 
     let mut fifo: Vec<FifoServer> = Vec::new();
     let mut ps: Vec<PsServer> = Vec::new();
@@ -662,6 +809,17 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     let mut bucket_samples: Vec<SampleSet> = (0..cfg.buckets).map(|_| SampleSet::new()).collect();
     let mut bucket_reqs = vec![0usize; cfg.buckets];
     let mut bucket_k2 = vec![0usize; cfg.buckets];
+    let mut bucket_hot = vec![0usize; cfg.buckets];
+    let mut bucket_hot_k2 = vec![0usize; cfg.buckets];
+    // Per-bucket per-server busy accounting: the measured window is
+    // sliced at the first arrival of each new bucket; a slice's
+    // per-server busy delta over its elapsed time is that bucket's
+    // utilization profile (its max is `RampBucket::peak_utilization`).
+    let mut bucket_busy = vec![0.0f64; cfg.buckets * cfg.servers];
+    let mut bucket_elapsed = vec![0.0f64; cfg.buckets];
+    let mut snap_busy = vec![0.0f64; cfg.servers];
+    let mut snap_t = 0.0f64;
+    let mut cur_bucket: Option<usize> = None;
 
     let mut copies_issued = 0u64;
     let mut copies_cancelled = 0u64;
@@ -686,10 +844,43 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             }
         }};
     }
+    // Cumulative busy time of server `$s` as of `$now`: FIFO accrues the
+    // whole demand at service start (lumpy), PS continuously via
+    // `advance` — a resident PS job set has been busy since `last`.
+    macro_rules! server_busy_now {
+        ($s:expr, $now:expr) => {{
+            match cfg.discipline {
+                Discipline::Fifo => fifo[$s].busy,
+                Discipline::Ps => {
+                    let srv = &ps[$s];
+                    if srv.jobs.is_empty() {
+                        srv.busy
+                    } else {
+                        srv.busy + ($now - srv.last)
+                    }
+                }
+            }
+        }};
+    }
+    // Closes the bucket `$b`'s time slice at `$now`: folds each server's
+    // busy delta since the last snapshot into the bucket and re-anchors
+    // the snapshot.
+    macro_rules! close_bucket_slice {
+        ($b:expr, $now:expr) => {{
+            for s in 0..cfg.servers {
+                let now_busy = server_busy_now!(s, $now);
+                bucket_busy[$b * cfg.servers + s] += now_busy - snap_busy[s];
+                snap_busy[s] = now_busy;
+            }
+            bucket_elapsed[$b] += $now - snap_t;
+            snap_t = $now;
+        }};
+    }
     // A server reports its measured per-copy service duration with each
-    // completion; in estimated mode the front-end feeds it to the moment
-    // estimator and periodically re-derives the threshold from the live
-    // (mean, SCV) through the quantized-grid cache.
+    // completion (or the front-end observes it at dispatch, per
+    // `cfg.demand_report`); in estimated mode the front-end feeds it to
+    // the moment estimator and periodically re-derives the threshold from
+    // the live (mean, SCV) through the quantized-grid cache.
     macro_rules! observe_service {
         ($svc:expr) => {{
             if let Some(me) = moment_est.as_mut() {
@@ -698,6 +889,7 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                 if me.len() >= min_samples && observed % recalibrate == 0 {
                     live_threshold =
                         threshold_cache.threshold(me.mean(), me.scv(), cfg.client_overhead);
+                    live_planner = planner.recalibrated(me.mean(), me.scv());
                     recalibrations += 1;
                 }
             }
@@ -732,7 +924,11 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             // *actually dispatched* — for hedged policies that is only
             // when the hedge fires, not at the arrival decision.
             if $from < 2 && $to >= 2 && ($req as usize) >= cfg.warmup {
-                bucket_k2[bucket_of(state.offered)] += 1;
+                let b = bucket_of(state.offered);
+                bucket_k2[b] += 1;
+                if state.hot {
+                    bucket_hot_k2[b] += 1;
+                }
             }
             state.sent = $to as u8;
         }};
@@ -752,6 +948,20 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                 let i = req as usize;
                 let offered = cfg.offered(i);
 
+                // Shard placement first: key drawn from the popularity
+                // mix (uniform by default), stored replicas via the ring
+                // — the per-server load model needs the candidate set
+                // before it can decide. The `place_rng` draw order (shard
+                // sample, then the optional shuffle below) is unchanged,
+                // so the global model stays bit-identical to the
+                // pre-per-server code.
+                let shard = match &cfg.popularity {
+                    None => place_rng.index(cfg.shards) as u64,
+                    Some(d) => shard_of(d.sample(&mut place_rng), cfg.shards) as u64,
+                };
+                let stored = ring.replicas(shard, cfg.stored_replicas);
+                let hot = hot_shard[shard as usize];
+
                 // Per-request consultation of the redundancy stack.
                 let (copies, hedge_after) = match &cfg.frontend {
                     Frontend::Fixed(policy) => match *policy {
@@ -759,37 +969,63 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                         Policy::Always { copies } => (copies, None),
                         Policy::Hedged { copies, after } => (copies, Some(after.as_secs_f64())),
                     },
-                    Frontend::Adaptive { .. } => {
-                        let est = estimator.as_mut().expect("adaptive estimator");
-                        est.observe_arrival(t);
+                    Frontend::Adaptive { load_model, .. } => {
                         // The planner's advice at the live estimates: the
                         // threshold is either the precomputed clairvoyant
                         // one or the latest recalibration from measured
                         // moments, and the utilization estimate uses the
                         // live mean once it is trusted — so the decision
-                        // is the comparison `advise` would perform, with
+                        // is the comparison `advise` (global) or
+                        // `decide_for` (per-server) would perform, with
                         // every input measured.
                         let live_mean = match moment_est.as_ref() {
                             Some(me) if me.len() >= min_samples => me.mean(),
                             _ => mean_service,
                         };
-                        let rho = if est.is_warm() {
-                            est.utilization(live_mean, cfg.servers)
-                        } else {
-                            cfg.load_start
+                        let replicate = match load_model {
+                            LoadModel::Global => {
+                                let est = estimator.as_mut().expect("adaptive estimator");
+                                est.observe_arrival(t);
+                                let rho = if est.is_warm() {
+                                    est.utilization(live_mean, cfg.servers)
+                                } else {
+                                    cfg.load_start
+                                };
+                                rho < live_threshold
+                            }
+                            LoadModel::PerServer => {
+                                let bank = bank.as_mut().expect("per-server bank");
+                                // Every stored candidate observes this
+                                // arrival: the bank measures where k = 1
+                                // traffic *would* land (divided back out
+                                // by the split factor in `utilization`),
+                                // so the estimate is independent of the
+                                // replication decisions actually taken —
+                                // no feedback loop. The pair max is
+                                // folded inline (no per-request alloc);
+                                // `decide_for` maxes over its slice, so a
+                                // pre-maxed single candidate is
+                                // equivalent.
+                                let mut rho_max = 0.0f64;
+                                for &s in &stored {
+                                    bank.observe_arrival(s, t);
+                                    let rho = if bank.get(s).is_warm() {
+                                        bank.utilization(s, live_mean, stored.len())
+                                    } else {
+                                        cfg.load_start
+                                    };
+                                    rho_max = rho_max.max(rho);
+                                }
+                                let d =
+                                    live_planner.decide_for(&mut threshold_cache, &[rho_max]);
+                                live_threshold = d.threshold_load;
+                                d.replicate
+                            }
                         };
-                        (if rho < live_threshold { 2 } else { 1 }, None)
+                        (if replicate { 2 } else { 1 }, None)
                     }
                 };
 
-                // Shard placement: key drawn from the popularity mix
-                // (uniform by default), stored replicas via the ring, then
-                // the query-time copies among them (k = 1 load-balances).
-                let shard = match &cfg.popularity {
-                    None => place_rng.index(cfg.shards) as u64,
-                    Some(d) => shard_of(d.sample(&mut place_rng), cfg.shards) as u64,
-                };
-                let stored = ring.replicas(shard, cfg.stored_replicas);
                 let k = copies.min(stored.len());
                 // Shuffle unless every stored copy is dispatched at once:
                 // a k = 1 read load-balances across the stored pair, and a
@@ -810,13 +1046,35 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                     offered,
                     targets,
                     sent: 0,
+                    hot,
                     done: false,
                     token: CancelToken::new(),
                 });
                 debug_assert_eq!(reqs.len() - 1, i);
 
                 if i >= cfg.warmup {
-                    bucket_reqs[bucket_of(offered)] += 1;
+                    let b = bucket_of(offered);
+                    if cur_bucket != Some(b) {
+                        match cur_bucket {
+                            // Entering a new bucket closes the previous
+                            // one's time slice...
+                            Some(pb) => close_bucket_slice!(pb, t),
+                            // ...while the first measured arrival only
+                            // anchors the snapshot (warm-up busy time is
+                            // not attributed to any bucket).
+                            None => {
+                                for s in 0..cfg.servers {
+                                    snap_busy[s] = server_busy_now!(s, t);
+                                }
+                                snap_t = t;
+                            }
+                        }
+                        cur_bucket = Some(b);
+                    }
+                    bucket_reqs[b] += 1;
+                    if hot {
+                        bucket_hot[b] += 1;
+                    }
                 }
 
                 match hedge_after {
@@ -849,6 +1107,13 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             Ev::CopyArrive { req, server } => {
                 let s = server as usize;
                 let svc = cfg.service.sample(&mut svc_rng);
+                // Dispatch-time reporting: the copy's demand is observed
+                // the moment it reaches the server, before queueing or
+                // cancellation can select which copies complete — the
+                // censoring-free channel PS cancellation needs.
+                if cfg.demand_report == DemandReport::Dispatch {
+                    observe_service!(svc);
+                }
                 match cfg.discipline {
                     Discipline::Fifo => {
                         let srv = &mut fifo[s];
@@ -871,7 +1136,9 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             Ev::FifoDepart { server } => {
                 let s = server as usize;
                 let (req, svc) = fifo[s].in_service.take().expect("depart with idle server");
-                observe_service!(svc);
+                if cfg.demand_report == DemandReport::Completion {
+                    observe_service!(svc);
+                }
                 q.push(
                     SimTime::from_secs(t + cfg.propagation),
                     Ev::Response { req, server },
@@ -896,7 +1163,9 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
                     continue;
                 };
                 let job = ps[s].jobs.remove(idx);
-                observe_service!(job.size);
+                if cfg.demand_report == DemandReport::Completion {
+                    observe_service!(job.size);
+                }
                 q.push(
                     SimTime::from_secs(t + cfg.propagation),
                     Ev::Response {
@@ -963,6 +1232,12 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
         }
     }
 
+    // The final bucket's slice runs through the post-arrival drain.
+    if let Some(pb) = cur_bucket {
+        close_bucket_slice!(pb, end_time);
+    }
+    let _ = snap_t; // the re-anchored snapshot is dead past the last close
+
     let busy: f64 = match cfg.discipline {
         Discipline::Fifo => fifo.iter().map(|s| s.busy).sum(),
         Discipline::Ps => ps.iter().map(|s| s.busy).sum(),
@@ -982,12 +1257,22 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             } else {
                 (samples.mean(), samples.quantile(0.99))
             };
+            let peak_utilization = if bucket_elapsed[b] > 0.0 {
+                (0..cfg.servers)
+                    .map(|s| bucket_busy[b * cfg.servers + s] / bucket_elapsed[b])
+                    .fold(f64::NAN, f64::max)
+            } else {
+                f64::NAN
+            };
             RampBucket {
                 load,
                 requests: bucket_reqs[b],
                 k2_requests: bucket_k2[b],
                 mean_response,
                 p99,
+                peak_utilization,
+                hot_requests: bucket_hot[b],
+                hot_k2_requests: bucket_hot_k2[b],
             }
         })
         .collect();
@@ -1262,6 +1547,7 @@ mod tests {
         cfg.frontend = Frontend::Adaptive {
             window: 1024,
             moments: MomentSource::estimated(),
+            load_model: LoadModel::Global,
         };
         cfg
     }
@@ -1387,11 +1673,159 @@ mod tests {
     fn estimated_moments_under_ps_cancellation_rejected() {
         // Under PS, cancellation purges the in-flight *loser* — the
         // larger-demand copy — so completion-based moment estimation
-        // would sample min(demands). The config is rejected outright.
+        // would sample min(demands). The completion-reported config is
+        // rejected outright.
         let mut cfg = estimated_ramp(0.05, 0.4);
         cfg.discipline = Discipline::Ps;
         cfg.cancellation = true;
         let _ = run(&cfg);
+    }
+
+    #[test]
+    fn dispatch_reporting_unbiases_ps_cancellation_estimates() {
+        // The same previously rejected combination with dispatch-time
+        // reporting: every issued copy's demand is observed before
+        // cancellation can censor it, so the estimator must land on the
+        // true moments (mean 1 ms, scv 1) even though cancellation is
+        // systematically killing the larger-demand in-flight copies.
+        let mut cfg = estimated_ramp(0.05, 0.55);
+        cfg.discipline = Discipline::Ps;
+        cfg.cancellation = true;
+        cfg.demand_report = DemandReport::Dispatch;
+        let out = run(&cfg);
+        assert_eq!(out.completed, cfg.requests);
+        assert!(out.copies_cancelled > 0, "cancellation never fired");
+        assert!(
+            (out.est_mean_service - 1.0e-3).abs() / 1.0e-3 < 0.1,
+            "dispatch-reported mean is biased: {}",
+            out.est_mean_service
+        );
+        assert!(
+            (out.est_scv - 1.0).abs() < 0.25,
+            "dispatch-reported scv is biased: {}",
+            out.est_scv
+        );
+        assert!(
+            (out.switch_off - out.planner_threshold).abs() < 0.08,
+            "switch-off {} vs threshold {}",
+            out.switch_off,
+            out.planner_threshold
+        );
+        // A completion-reported FIFO control (no cancellation) measures
+        // the same law — the dispatch channel is a superset observer, not
+        // a different quantity.
+        let fifo = run(&estimated_ramp(0.05, 0.55));
+        assert!(
+            (out.est_mean_service - fifo.est_mean_service).abs() / fifo.est_mean_service < 0.1,
+            "dispatch {} vs completion {}",
+            out.est_mean_service,
+            fifo.est_mean_service
+        );
+    }
+
+    fn per_server_ramp(lo: f64, hi: f64) -> ServiceConfig {
+        let mut cfg = ServiceConfig::ramp(exp_service(), lo, hi);
+        cfg.requests = 60_000;
+        cfg.warmup = 6_000;
+        cfg.frontend = Frontend::Adaptive {
+            window: 512,
+            moments: MomentSource::Clairvoyant,
+            load_model: LoadModel::PerServer,
+        };
+        cfg
+    }
+
+    #[test]
+    fn per_server_uniform_keys_flip_near_the_global_threshold() {
+        // With uniform keys every server's estimated share sits near the
+        // fair 1/8, so per-server planning must reproduce the global
+        // behavior: a switch-off in the global band (the residual spread
+        // is the ring's stored-pair imbalance).
+        let out = run(&per_server_ramp(0.05, 0.6));
+        assert_eq!(out.completed, 60_000);
+        assert!(
+            (out.switch_off - out.planner_threshold).abs() < 0.07,
+            "per-server uniform switch-off {} vs threshold {}",
+            out.switch_off,
+            out.planner_threshold
+        );
+        let first = out.buckets.first().unwrap();
+        let last = out.buckets.last().unwrap();
+        assert!(first.frac_k2() > 0.9, "start of ramp: {first:?}");
+        assert!(last.frac_k2() < 0.1, "end of ramp: {last:?}");
+    }
+
+    #[test]
+    fn per_server_planner_staggers_switch_off_by_temperature() {
+        // Zipf keys: pairs containing the hot server must switch off at a
+        // strictly lower offered load than pairs avoiding it — the
+        // skew-aware point of the whole mechanism. The global planner, by
+        // construction, flips both temperatures together.
+        let mut cfg = per_server_ramp(0.05, 0.45);
+        cfg.popularity = Some(zipf_popularity(cfg.shards, 0.6));
+        let out = run(&cfg);
+        let hot: Vec<(f64, f64)> = out.buckets.iter().map(|b| (b.load, b.frac_k2_hot())).collect();
+        let cold: Vec<(f64, f64)> = out
+            .buckets
+            .iter()
+            .map(|b| (b.load, b.frac_k2_cold()))
+            .collect();
+        let hot_off = switch_off_load(&hot);
+        let cold_off = switch_off_load(&cold);
+        assert!(
+            hot_off + 0.03 < cold_off,
+            "cold pairs must replicate longer: hot {hot_off} vs cold {cold_off}"
+        );
+        // Against the global planner on the identical workload: the hot
+        // server's peak busy fraction over the ramp must drop.
+        let mut global = cfg.clone();
+        global.frontend = Frontend::Adaptive {
+            window: 512,
+            moments: MomentSource::Clairvoyant,
+            load_model: LoadModel::Global,
+        };
+        let gout = run(&global);
+        let peak = |r: &ServiceResult| {
+            r.buckets
+                .iter()
+                .map(|b| b.peak_utilization)
+                .fold(f64::NAN, f64::max)
+        };
+        assert!(
+            peak(&out) < peak(&gout) - 0.05,
+            "per-server peak {} vs global peak {}",
+            peak(&out),
+            peak(&gout)
+        );
+    }
+
+    #[test]
+    fn per_bucket_peak_utilization_tracks_flat_load() {
+        // Flat Single-copy load 0.3 on uniform keys: every bucket's peak
+        // (hottest-server) busy fraction must sit above the cluster mean
+        // and below saturation, and hot-pair accounting must cover a
+        // plausible share of requests without inventing k = 2 traffic.
+        let mut cfg = flat(Policy::Single, 0.3);
+        cfg.buckets = 4;
+        let out = run(&cfg);
+        // A flat ramp maps every request into bucket 0; the rest are
+        // empty and must report NaN peaks, not artifacts.
+        let (head, rest) = out.buckets.split_first().unwrap();
+        assert!(head.requests > 0);
+        assert!(
+            head.peak_utilization > 0.25 && head.peak_utilization < 0.75,
+            "peak utilization {head:?}"
+        );
+        assert!(head.peak_utilization > out.mean_utilization - 0.05);
+        assert!(head.hot_requests > 0 && head.hot_requests < head.requests);
+        assert_eq!(head.hot_k2_requests, 0, "Single never duplicates");
+        assert_eq!(head.frac_k2_hot(), 0.0);
+        assert_eq!(head.frac_k2_cold(), 0.0);
+        for b in rest {
+            assert_eq!(b.requests, 0);
+            assert!(b.peak_utilization.is_nan(), "{b:?}");
+            assert!(b.frac_k2_hot().is_nan() && b.frac_k2_cold().is_nan());
+        }
     }
 
     #[test]
@@ -1418,6 +1852,92 @@ mod tests {
             assert!((got - want).abs() < 1e-12, "{shares:?} vs {expect:?}");
         }
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stored_load_shares_degenerate_inputs() {
+        // Uniform popularity supplied *explicitly* (Zipf exponent 0) must
+        // match the implicit `None` default exactly.
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        let implicit = stored_load_shares(&cfg);
+        cfg.popularity = Some(zipf_popularity(cfg.shards, 0.0));
+        let explicit = stored_load_shares(&cfg);
+        for (a, b) in implicit.iter().zip(&explicit) {
+            assert!((a - b).abs() < 1e-12, "{implicit:?} vs {explicit:?}");
+        }
+        assert!((implicit.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+        // Single shard: all weight lands on exactly its stored pair,
+        // split evenly, and the hottest server is one of the pair.
+        let mut one = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        one.shards = 1;
+        let shares = stored_load_shares(&one);
+        let ring = crate::hashring::HashRing::new(one.servers, one.vnodes);
+        let pair = ring.replicas(0, one.stored_replicas);
+        for (s, &w) in shares.iter().enumerate() {
+            let expect = if pair.contains(&s) { 0.5 } else { 0.0 };
+            assert!((w - expect).abs() < 1e-12, "server {s}: {shares:?}");
+        }
+        assert!(pair.contains(&hottest_stored_server(&one)));
+
+        // A popularity vector shorter than the shard count: unnamed
+        // shards carry zero weight, the named ones keep theirs, and the
+        // whole thing still sums to 1.
+        let mut short = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        short.shards = 512;
+        short.popularity = Some(Arc::new(simcore::dist::DiscreteEmpirical::new(&[
+            (0.0, 0.7),
+            (1.0, 0.3),
+        ])));
+        let shares = stored_load_shares(&short);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut expect = vec![0.0f64; short.servers];
+        let ring = crate::hashring::HashRing::new(short.servers, short.vnodes);
+        for (shard, w) in [(0u64, 0.7), (1, 0.3)] {
+            for s in ring.replicas(shard, short.stored_replicas) {
+                expect[s] += w / short.stored_replicas as f64;
+            }
+        }
+        for (got, want) in shares.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12, "{shares:?} vs {expect:?}");
+        }
+
+        // Values beyond the shard range clamp onto the last shard, like
+        // the dispatch path's `shard_of`.
+        let mut clamp = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        clamp.shards = 4;
+        clamp.popularity = Some(Arc::new(simcore::dist::DiscreteEmpirical::new(&[
+            (99.0, 0.5),
+            (-3.0, 0.5),
+        ])));
+        let shares = stored_load_shares(&clamp);
+        let ring = crate::hashring::HashRing::new(clamp.servers, clamp.vnodes);
+        let mut expect = vec![0.0f64; clamp.servers];
+        for shard in [3u64, 0] {
+            for s in ring.replicas(shard, clamp.stored_replicas) {
+                expect[s] += 0.5 / clamp.stored_replicas as f64;
+            }
+        }
+        for (got, want) in shares.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12, "{shares:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn stored_load_shares_rejects_zero_shards() {
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        cfg.shards = 0;
+        let _ = stored_load_shares(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot store")]
+    fn stored_load_shares_rejects_overwide_replication() {
+        let mut cfg = ServiceConfig::ramp(exp_service(), 0.2, 0.2);
+        cfg.servers = 2;
+        cfg.stored_replicas = 3;
+        let _ = stored_load_shares(&cfg);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Guard: every experiment id registered in `repro all` (ALL_IDS, as
+# printed by `repro list --figures`) must be present in each results
+# directory the CI byte-diff compares. Without this, an experiment that
+# silently drops out of the `--out` set would pass the serial-vs-parallel
+# diff gate (both trees equally missing it) without ever being
+# regenerated or band-checked.
+# Usage: check_coverage.sh <repro-binary> <results-dir>...
+set -u
+bin="${1:?usage: check_coverage.sh <repro-binary> <results-dir>...}"
+shift
+if [ "$#" -lt 1 ]; then
+  echo "usage: check_coverage.sh <repro-binary> <results-dir>..."
+  exit 2
+fi
+ids=$("$bin" list --figures) || {
+  echo "FAIL: '$bin list --figures' did not run"
+  exit 2
+}
+missing=0
+count=0
+for id in $ids; do
+  count=$((count + 1))
+  for dir in "$@"; do
+    if [ ! -f "$dir/$id.txt" ]; then
+      echo "MISSING $dir/$id.txt"
+      missing=$((missing + 1))
+    fi
+  done
+done
+if [ "$missing" -ne 0 ]; then
+  echo "$missing registered experiment output(s) missing from the byte-diff set"
+  exit 1
+fi
+echo "all $count registered experiments present in: $*"

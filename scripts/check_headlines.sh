@@ -140,6 +140,66 @@ else
   fails=$((fails + 1))
 fi
 
+# fig-service-skew-aware: the per-server planner must cut the Zipf
+# hot-server peak utilization strictly below the global planner's, flatten
+# the mid-ramp p99 contention hump, and keep cold pairs replicating after
+# hot pairs switched off.
+if [ -f "$dir/fig-service-skew-aware.txt" ]; then
+  f="$dir/fig-service-skew-aware.txt"
+  gp=$(grep -o 'global hot-server peak utilization: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  pp=$(grep -o 'per-server hot-server peak utilization: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  ratio=$(grep -o 'p99 hump ratio: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  hot=$(grep -o 'hot-pair k2 fraction at ramp end: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  cold=$(grep -o 'cold-pair k2 fraction at ramp end: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  if [ -n "$gp" ] && [ -n "$pp" ] && awk "BEGIN { exit !($pp < $gp - 0.05) }"; then
+    echo "ok   fig-service-skew-aware: per-server peak util $pp below global $gp - 0.05"
+  else
+    echo "FAIL fig-service-skew-aware: per-server peak '$pp' vs global '$gp' out of band"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$ratio" ] && awk "BEGIN { exit !($ratio < 0.9) }"; then
+    echo "ok   fig-service-skew-aware: p99 hump ratio $ratio < 0.9"
+  else
+    echo "FAIL fig-service-skew-aware: p99 hump ratio '$ratio' not < 0.9"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$hot" ] && [ -n "$cold" ] && awk "BEGIN { exit !($cold > $hot + 0.5) }"; then
+    echo "ok   fig-service-skew-aware: ramp-end cold k2 $cold exceeds hot $hot + 0.5"
+  else
+    echo "FAIL fig-service-skew-aware: ramp-end cold k2 '$cold' vs hot '$hot' out of band"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-skew-aware: missing $dir/fig-service-skew-aware.txt"
+  fails=$((fails + 1))
+fi
+
+# fig-service-ps-est: the previously rejected Estimated + PS + cancellation
+# combination, under dispatch-time demand reporting, must land its
+# switch-off within +-0.08 of the offline threshold with an unbiased mean
+# estimate (completion reporting would have censored it toward ~0.0005 s).
+if [ -f "$dir/fig-service-ps-est.txt" ]; then
+  f="$dir/fig-service-ps-est.txt"
+  so=$(grep -o 'planner switch-off load: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  th=$(grep -o 'offline threshold: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  em=$(grep -o 'estimated final mean service: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  if [ -n "$so" ] && [ -n "$th" ] && awk "BEGIN { d = $so - $th; if (d < 0) d = -d; exit !(d <= 0.08) }"; then
+    echo "ok   fig-service-ps-est: switch-off $so within 0.08 of threshold $th"
+  else
+    echo "FAIL fig-service-ps-est: switch-off '$so' vs threshold '$th' out of band"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$em" ] && awk "BEGIN { exit !($em >= 0.0009 && $em <= 0.0011) }"; then
+    echo "ok   fig-service-ps-est: dispatch-reported mean $em unbiased (band [0.0009, 0.0011])"
+  else
+    echo "FAIL fig-service-ps-est: estimated mean '$em' outside [0.0009, 0.0011]"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-ps-est: missing $dir/fig-service-ps-est.txt"
+  fails=$((fails + 1))
+fi
+
 # Fig 16: 10-server mean reduction in the recorded band, tail strong.
 check "fig16: k=10 mean reduction in [35, 80], p99 > 30" fig16.txt \
   'if ($1 == "10" && $2 >= 35 && $2 <= 80 && $5 > 30) ok = 1'

@@ -200,6 +200,71 @@ fn heavy_tail_switch_off_sits_below_exponential() {
     assert_eq!(rows, 3, "three workload rows expected:\n{out}");
 }
 
+/// Skew-aware planning: under a Zipf key mix the per-server planner
+/// (`EstimatorBank` + `decide_for`) must cut the hot server's peak busy
+/// fraction strictly below the global planner's, flatten the mid-ramp
+/// p99 contention hump, and stagger the decision by temperature — hot
+/// pairs off well below the balanced-load threshold, cold pairs still
+/// replicating at ramp end.
+#[test]
+fn per_server_planner_cuts_the_hot_server_peak() {
+    let out = run_experiment("fig-service-skew-aware", Effort::Quick);
+    let global_peak = grab_headline(&out, "# global hot-server peak utilization:");
+    let per_peak = grab_headline(&out, "# per-server hot-server peak utilization:");
+    assert!(
+        per_peak < global_peak - 0.05,
+        "per-server peak {per_peak} not strictly below global {global_peak}"
+    );
+    let hump_ratio = grab_headline(&out, "# p99 hump ratio:");
+    assert!(hump_ratio < 0.9, "p99 hump ratio {hump_ratio} not flattened");
+    let hot_off = grab_headline(&out, "# per-server hot-pair switch-off load:");
+    let threshold = grab_headline(&out, "# offline threshold:");
+    assert!(
+        hot_off < threshold - 0.05,
+        "hot pairs must switch off well below the balanced threshold: \
+         {hot_off} vs {threshold}"
+    );
+    let hot_end = grab_headline(&out, "# hot-pair k2 fraction at ramp end:");
+    let cold_end = grab_headline(&out, "# cold-pair k2 fraction at ramp end:");
+    assert!(
+        cold_end > hot_end + 0.5,
+        "cold pairs must outlive hot pairs: cold {cold_end} vs hot {hot_end}"
+    );
+}
+
+/// Censoring-free PS calibration: the previously rejected Estimated +
+/// PS + cancellation combination, run through dispatch-time demand
+/// reporting, must land its switch-off inside the same ±0.08 band as the
+/// uncensored FIFO experiments, with unbiased moment estimates — the
+/// exact outcome completion-based sampling could not deliver (it would
+/// have measured min(demands) and roughly halved the mean).
+#[test]
+fn ps_estimated_switch_off_lands_in_band() {
+    let out = run_experiment("fig-service-ps-est", Effort::Quick);
+    let switch_off = grab_headline(&out, "# planner switch-off load:");
+    let threshold = grab_headline(&out, "# offline threshold:");
+    assert!(
+        (threshold - 1.0 / 3.0).abs() < 0.01,
+        "offline threshold {threshold} != 1/3"
+    );
+    assert!(
+        (switch_off - threshold).abs() <= 0.08,
+        "PS-estimated switch-off {switch_off} vs threshold {threshold}"
+    );
+    let mean = grab_headline(&out, "# estimated final mean service:");
+    assert!(
+        (mean - 1.0e-3).abs() / 1.0e-3 < 0.1,
+        "dispatch-reported mean must be unbiased: {mean}"
+    );
+    let scv = grab_headline(&out, "# estimated final scv:");
+    assert!((scv - 1.0).abs() < 0.25, "est scv {scv}");
+    let cancel = grab_headline(&out, "# cancel fraction:");
+    assert!(
+        cancel > 0.05,
+        "cancellation never fired meaningfully: {cancel}"
+    );
+}
+
 /// §2.4 headline: replicating the first packets improves the small-flow
 /// median at moderate load without hurting originals.
 #[test]

@@ -415,6 +415,145 @@ fn windowed_estimators_match_bruteforce_across_random_streams() {
     }
 }
 
+/// `EstimatorBank` per-index streams agree with a brute-force recompute
+/// over each index's retained window to 1e-9 at every step of seeded
+/// random streams whose observations interleave across servers in random
+/// order — growth, window eviction, per-index `reset`, and the
+/// all-servers-idle edge alike. This is what lets the per-server planner
+/// trust that feeding server A's arrivals can never perturb server B's
+/// estimate, no matter how the two streams interleave.
+#[test]
+fn estimator_bank_matches_bruteforce_across_interleaved_streams() {
+    use low_latency_redundancy::redundancy::prelude::EstimatorBank;
+
+    fn naive(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    let mut rng = Rng::seed_from(0xBA9C);
+    for case in 0..20 {
+        let servers = 2 + rng.index(6);
+        let window = 2 + rng.index(40);
+        let n = window * servers * 3 + rng.index(300);
+        let mut bank = EstimatorBank::new(servers, window);
+        let mut held: Vec<Vec<f64>> = vec![Vec::new(); servers];
+        // The all-servers-idle edge: a cold bank reports zero everywhere.
+        for s in 0..servers {
+            assert!(bank.get(s).is_empty());
+            assert_eq!(bank.rate(s), 0.0);
+            assert_eq!(bank.utilization(s, 1.0e-3, 2), 0.0);
+        }
+        // Exercise a per-index reset mid-stream on half the cases.
+        let reset_at = if case % 2 == 0 {
+            Some((n / 2, rng.index(servers)))
+        } else {
+            None
+        };
+        for i in 0..n {
+            if let Some((at, idx)) = reset_at {
+                if i == at {
+                    bank.reset(idx);
+                    held[idx].clear();
+                }
+            }
+            let idx = rng.index(servers);
+            // Mixed scales: rare 100x spikes stress the sliding update.
+            let gap = {
+                let base = rng.exponential(4.0);
+                if rng.chance(0.05) {
+                    base * 100.0
+                } else {
+                    base
+                }
+            };
+            bank.push_gap(idx, gap);
+            held[idx].push(gap);
+            // Check the touched index plus one random bystander — the
+            // bystander's estimate must be exactly its own stream's.
+            for s in [idx, rng.index(servers)] {
+                let h = &held[s];
+                if h.is_empty() {
+                    assert!(bank.get(s).is_empty(), "case {case} step {i} idle {s}");
+                    assert_eq!(bank.rate(s), 0.0);
+                    continue;
+                }
+                let lo = h.len().saturating_sub(window);
+                let w = &h[lo..];
+                let (mean, var) = naive(w);
+                let est = bank.get(s);
+                assert!(
+                    (est.mean_gap() - mean).abs() < 1e-9,
+                    "case {case} step {i} server {s}: mean {} vs {mean}",
+                    est.mean_gap()
+                );
+                let var_ok = if w.len() < 2 {
+                    est.gap_variance() == 0.0
+                } else {
+                    (est.gap_variance() - var).abs() < 1e-9 * var.max(1.0)
+                };
+                assert!(var_ok, "case {case} step {i} server {s}: variance");
+                if w.len() >= 2 {
+                    assert!(
+                        (bank.rate(s) - 1.0 / mean).abs() < 1e-9 * (1.0 / mean).max(1.0),
+                        "case {case} step {i} server {s}: rate"
+                    );
+                    // utilization = rate * mean_service / split, exactly.
+                    assert_eq!(
+                        bank.utilization(s, 2.0e-3, 2).to_bits(),
+                        (bank.rate(s) * 2.0e-3 / 2.0).to_bits()
+                    );
+                } else {
+                    assert_eq!(bank.rate(s), 0.0, "one gap is not a rate");
+                }
+            }
+        }
+    }
+}
+
+/// `LoadModel::Global` **is** the PR 4 code path, bit for bit: the two
+/// quick-mode estimated-planner experiments that existed before the
+/// per-server planner landed must reproduce their PR 4 reports exactly
+/// (FNV-1a-64 over the report bytes, captured from the pre-refactor
+/// binary). Any drift here means the refactor silently changed the
+/// global-model semantics — RNG draw order, estimator feeding, decision
+/// arithmetic — rather than purely adding the per-server path.
+///
+/// Platform note: like CI's serial-vs-parallel byte-diff, this pin
+/// assumes the platform's libm (`ln`, `powf` feed the samplers and Zipf
+/// weights). A failure on a *new* target or after a libm update — with
+/// the headline numbers still inside their EXPERIMENTS.md bands — is
+/// last-bit float drift, not semantic drift: re-pin the hashes from the
+/// unmodified global path on that platform. A failure on a platform
+/// where it previously passed is real drift.
+#[test]
+fn load_model_global_reproduces_pr4_reports_byte_for_byte() {
+    use repro_bench::{run_experiment, Effort};
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    for (id, pinned) in [
+        ("fig-service-est", 0x1b9a39735e2f4242u64),
+        ("fig-service-skew", 0xeb6986d07f6e6358u64),
+    ] {
+        let out = run_experiment(id, Effort::Quick);
+        assert_eq!(
+            fnv1a64(out.as_bytes()),
+            pinned,
+            "{id} drifted from its PR 4 pinned output:\n{out}"
+        );
+    }
+}
+
 /// Every new service-layer scenario — estimated-moment calibration,
 /// heavy-tailed service, skewed keys, and a hedged ramp — produces
 /// bit-identical aggregate outcomes at 1 and 8 runner threads, matching
@@ -429,7 +568,8 @@ fn service_scenarios_bit_identical_across_thread_counts() {
     use low_latency_redundancy::simcore::runner::Runner;
     use low_latency_redundancy::storesim::experiments::run_service_ramp_on;
     use low_latency_redundancy::storesim::service::{
-        bounded_pareto_with_mean, zipf_popularity, Frontend, MomentSource, ServiceConfig,
+        bounded_pareto_with_mean, zipf_popularity, DemandReport, Discipline, Frontend, LoadModel,
+        MomentSource, ServiceConfig,
     };
     use std::sync::Arc;
     use std::time::Duration;
@@ -447,6 +587,7 @@ fn service_scenarios_bit_identical_across_thread_counts() {
             min_samples: 128,
             recalibrate: 256,
         },
+        load_model: LoadModel::Global,
     };
 
     let mut scenarios: Vec<(&str, ServiceConfig)> = Vec::new();
@@ -469,7 +610,7 @@ fn service_scenarios_bit_identical_across_thread_counts() {
         0.05,
         0.45,
     ));
-    skew.frontend = estimated;
+    skew.frontend = estimated.clone();
     skew.popularity = Some(zipf_popularity(skew.shards, 0.6));
     scenarios.push(("skewed", skew));
     let mut hedged = small(ServiceConfig::ramp(
@@ -483,6 +624,35 @@ fn service_scenarios_bit_identical_across_thread_counts() {
     });
     hedged.cancellation = true;
     scenarios.push(("hedged", hedged));
+    // The PR 5 additions: the per-server planner on a Zipf mix, and the
+    // previously rejected Estimated + PS + cancellation combination made
+    // legal by dispatch-time demand reporting.
+    let mut skew_aware = small(ServiceConfig::ramp(
+        Arc::new(Exponential::with_mean(1.0e-3)),
+        0.05,
+        0.45,
+    ));
+    skew_aware.frontend = Frontend::Adaptive {
+        window: 256,
+        moments: MomentSource::Estimated {
+            window: 2048,
+            min_samples: 128,
+            recalibrate: 256,
+        },
+        load_model: LoadModel::PerServer,
+    };
+    skew_aware.popularity = Some(zipf_popularity(skew_aware.shards, 0.6));
+    scenarios.push(("skew-aware", skew_aware));
+    let mut ps_est = small(ServiceConfig::ramp(
+        Arc::new(Exponential::with_mean(1.0e-3)),
+        0.05,
+        0.55,
+    ));
+    ps_est.frontend = estimated;
+    ps_est.discipline = Discipline::Ps;
+    ps_est.cancellation = true;
+    ps_est.demand_report = DemandReport::Dispatch;
+    scenarios.push(("ps-est", ps_est));
 
     for (name, cfg) in &scenarios {
         let serial = run_service_ramp_on(&Runner::new(1), cfg, 2);
@@ -497,6 +667,13 @@ fn service_scenarios_bit_identical_across_thread_counts() {
             ("est_mean", serial.est_mean_service, parallel.est_mean_service),
             ("est_scv", serial.est_scv, parallel.est_scv),
             ("cancel", serial.cancel_fraction, parallel.cancel_fraction),
+            ("peak_util", serial.peak_utilization, parallel.peak_utilization),
+            ("switch_off_hot", serial.switch_off_hot, parallel.switch_off_hot),
+            (
+                "switch_off_cold",
+                serial.switch_off_cold,
+                parallel.switch_off_cold,
+            ),
         ] {
             assert_eq!(a.to_bits(), b.to_bits(), "{name}: {field} diverged");
         }
@@ -509,6 +686,21 @@ fn service_scenarios_bit_identical_across_thread_counts() {
                 "{name} row {i}"
             );
             assert_eq!(a.p99.to_bits(), b.p99.to_bits(), "{name} row {i}");
+            assert_eq!(
+                a.peak_utilization.to_bits(),
+                b.peak_utilization.to_bits(),
+                "{name} row {i}"
+            );
+            assert_eq!(
+                a.frac_k2_hot.to_bits(),
+                b.frac_k2_hot.to_bits(),
+                "{name} row {i}"
+            );
+            assert_eq!(
+                a.frac_k2_cold.to_bits(),
+                b.frac_k2_cold.to_bits(),
+                "{name} row {i}"
+            );
         }
     }
 }
