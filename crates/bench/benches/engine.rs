@@ -1,0 +1,316 @@
+//! Engine benchmarks (`cargo bench -p repro-bench --bench engine`).
+//!
+//! Measures the event-engine hot paths the sharded parallel engine was
+//! built to accelerate, and emits the numbers as JSON (default
+//! `BENCH_engine.json` in the current directory, `--out PATH` to
+//! override; `--quick` shrinks the workloads to CI size):
+//!
+//! * `event_queue` — push/pop ns/iter through [`EventQueue`], default
+//!   growth vs `with_capacity` pre-sizing (the queue every sequential
+//!   simulator in the workspace runs on);
+//! * `ping` — a synthetic token-passing workload executed twice over the
+//!   *same* event multiset: once on a single sequential [`EventQueue`],
+//!   once on the [`ShardEngine`] at 1 worker and at every available
+//!   core. This is the apples-to-apples events/sec comparison between
+//!   the sequential and sharded engines;
+//! * `service` — the real `fig-service-scale` workload: sequential
+//!   [`storesim::service::run`] wall time vs [`run_sharded`] at 1 and N
+//!   workers, with the engine's deterministic event count.
+//!
+//! `within_run_speedup` > 1 needs more than one core; on a single-core
+//! host the JSON records the (still meaningful) absolute throughputs and
+//! a speedup of ~1.
+//!
+//! The harness is self-contained (`harness = false`, no external
+//! dependencies).
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use simcore::dist::{DynDist, Exponential};
+use simcore::event::EventQueue;
+use simcore::shard::{ShardCtx, ShardEngine, ShardLogic};
+use simcore::time::SimTime;
+use storesim::service::{self, Frontend, ServiceConfig};
+use storesim::sharded::run_sharded;
+
+/// Times `f` and returns ns/iter over a ~100 ms window (20 ms warm-up).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    let mut warm_iters = 0u64;
+    while t0.elapsed() < Duration::from_millis(20) {
+        f();
+        warm_iters += 1;
+    }
+    let est = t0.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+    let iters = ((100.0e6 / est.max(1.0)) as u64).clamp(10, 50_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t1.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Wall-clock seconds of the fastest of three runs of `f` (reduces
+/// scheduler noise without a full statistics pass).
+fn best_of_3_secs(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic token-passing workload.
+//
+// `jobs` tokens start on each of `shards` shards; every handled hop
+// reschedules the token after a deterministic pseudo-random gap, and every
+// fourth hop crosses to the next shard with a delay that lands exactly on
+// the lookahead floor (the engine's hardest case). Total events are exactly
+// shards * jobs * (hops + 1) on both engines.
+// ---------------------------------------------------------------------------
+
+const PING_LOOKAHEAD_SECS: f64 = 100.0e-6;
+
+#[derive(Clone, Copy)]
+struct Token {
+    id: u32,
+    hops: u32,
+}
+
+/// Deterministic per-hop gap in (0, 1] ms — a hash, not an RNG, so the
+/// sequential and sharded runs process identical timestamps.
+fn gap_secs(id: u32, hops: u32) -> f64 {
+    let h = (id.wrapping_mul(2_654_435_761) ^ hops.wrapping_mul(0x9E37_79B9)) % 1000;
+    (h + 1) as f64 * 1.0e-6
+}
+
+struct PingShard {
+    shards: usize,
+    handled: u64,
+}
+
+impl ShardLogic for PingShard {
+    type Event = Token;
+
+    fn handle(&mut self, _now: SimTime, ev: Token, ctx: &mut ShardCtx<'_, Token>) {
+        self.handled += 1;
+        if ev.hops == 0 {
+            return;
+        }
+        let next = Token {
+            id: ev.id,
+            hops: ev.hops - 1,
+        };
+        let gap = SimTime::from_secs(gap_secs(ev.id, ev.hops));
+        if ev.hops.is_multiple_of(4) && self.shards > 1 {
+            let to = (ctx.shard() + 1) % self.shards;
+            ctx.send(to, SimTime::from_secs(PING_LOOKAHEAD_SECS) + gap, next);
+        } else {
+            ctx.schedule_after(gap, next);
+        }
+    }
+}
+
+/// The same workload on one sequential [`EventQueue`] (events carry their
+/// shard id; state is the per-shard handled counter).
+fn ping_sequential(shards: usize, jobs: u32, hops: u32) -> u64 {
+    let mut q: EventQueue<(usize, Token)> = EventQueue::with_capacity((shards * jobs as usize) * 2);
+    for s in 0..shards {
+        for j in 0..jobs {
+            let id = (s as u32) << 16 | j;
+            q.push(SimTime::ZERO, (s, Token { id, hops }));
+        }
+    }
+    let mut handled = 0u64;
+    while let Some((now, (s, ev))) = q.pop() {
+        handled += 1;
+        if ev.hops == 0 {
+            continue;
+        }
+        let next = Token {
+            id: ev.id,
+            hops: ev.hops - 1,
+        };
+        let gap = SimTime::from_secs(gap_secs(ev.id, ev.hops));
+        if ev.hops.is_multiple_of(4) && shards > 1 {
+            let at = now + SimTime::from_secs(PING_LOOKAHEAD_SECS) + gap;
+            q.push(at, ((s + 1) % shards, next));
+        } else {
+            q.push(now + gap, (s, next));
+        }
+    }
+    black_box(handled)
+}
+
+fn ping_sharded(shards: usize, jobs: u32, hops: u32, workers: usize) -> u64 {
+    let states = (0..shards)
+        .map(|_| PingShard { shards, handled: 0 })
+        .collect();
+    let mut engine = ShardEngine::new(states, SimTime::from_secs(PING_LOOKAHEAD_SECS));
+    for s in 0..shards {
+        engine.reserve(s, jobs as usize * 2);
+        for j in 0..jobs {
+            let id = (s as u32) << 16 | j;
+            engine.schedule(s, SimTime::ZERO, Token { id, hops });
+        }
+    }
+    let stats = engine.run_with(workers);
+    black_box(stats.events)
+}
+
+/// The `fig-service-scale` workload at benchmark size.
+fn service_config(quick: bool) -> ServiceConfig {
+    let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+    let mut cfg = ServiceConfig::ramp(service, 0.05, 0.6);
+    cfg.servers = if quick { 64 } else { 256 };
+    cfg.shards = if quick { 16_384 } else { 65_536 };
+    cfg.vnodes = 16;
+    cfg.cancellation = true;
+    cfg.propagation = 200.0e-6;
+    cfg.requests = if quick { 200_000 } else { 1_000_000 };
+    cfg.warmup = if quick { 10_000 } else { 50_000 };
+    if let Frontend::Adaptive { window, .. } = &mut cfg.frontend {
+        *window = 8192;
+    }
+    cfg
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- event queue push/pop: default growth vs pre-sized ---
+    let qlen = 4096usize;
+    let push_pop_default_ns = time_ns(|| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..qlen {
+            q.push(SimTime::from_secs((i % 97) as f64), i as u32);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    }) / qlen as f64;
+    let push_pop_presized_ns = time_ns(|| {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(qlen);
+        for i in 0..qlen {
+            q.push(SimTime::from_secs((i % 97) as f64), i as u32);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    }) / qlen as f64;
+    println!("event_queue_push_pop_default   {push_pop_default_ns:>10.2} ns/event");
+    println!("event_queue_push_pop_presized  {push_pop_presized_ns:>10.2} ns/event");
+
+    // --- synthetic ping: sequential EventQueue vs ShardEngine ---
+    let (shards, jobs, hops) = if quick { (8, 64, 200) } else { (16, 128, 1000) };
+    let ping_events = (shards as u64) * (jobs as u64) * (hops as u64 + 1);
+    let seq_secs = best_of_3_secs(|| {
+        assert_eq!(ping_sequential(shards, jobs, hops), ping_events);
+    });
+    let t1_secs = best_of_3_secs(|| {
+        assert_eq!(ping_sharded(shards, jobs, hops, 1), ping_events);
+    });
+    let tn_secs = best_of_3_secs(|| {
+        assert_eq!(ping_sharded(shards, jobs, hops, host_threads), ping_events);
+    });
+    let seq_eps = ping_events as f64 / seq_secs;
+    let t1_eps = ping_events as f64 / t1_secs;
+    let tn_eps = ping_events as f64 / tn_secs;
+    println!("ping_sequential_eventqueue     {seq_eps:>12.0} events/sec");
+    println!("ping_sharded_1_worker          {t1_eps:>12.0} events/sec");
+    println!("ping_sharded_{host_threads}_workers          {tn_eps:>12.0} events/sec");
+    println!("ping_within_run_speedup        {:>12.2} x", tn_eps / t1_eps);
+
+    // --- the real service workload ---
+    let cfg = service_config(quick);
+    let seq_svc_secs = best_of_3_secs(|| {
+        black_box(service::run(&cfg).completed);
+    });
+    let groups = 8usize;
+    let mut svc_events = 0u64;
+    let svc_t1_secs = best_of_3_secs(|| {
+        let out = run_sharded(&cfg, groups, 1);
+        svc_events = out.engine.events;
+        black_box(out.result.completed);
+    });
+    let svc_tn_secs = best_of_3_secs(|| {
+        // Bypass the process thread budget (capacity 1 under `cargo
+        // bench`) the same way the engine tests do: set it explicitly.
+        simcore::runner::set_global_threads(host_threads);
+        let out = run_sharded(&cfg, groups, host_threads);
+        black_box(out.result.completed);
+    });
+    let svc_seq_rps = cfg.requests as f64 / seq_svc_secs;
+    let svc_t1_eps = svc_events as f64 / svc_t1_secs;
+    let svc_tn_eps = svc_events as f64 / svc_tn_secs;
+    println!("service_sequential_run         {svc_seq_rps:>12.0} requests/sec");
+    println!("service_sharded_1_worker       {svc_t1_eps:>12.0} events/sec");
+    println!("service_sharded_{host_threads}_workers       {svc_tn_eps:>12.0} events/sec");
+    println!(
+        "service_within_run_speedup     {:>12.2} x",
+        svc_tn_eps / svc_t1_eps
+    );
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"cargo bench -p repro-bench --bench engine{}\",\n  \
+         \"mode\": \"{}\",\n  \"host_threads\": {},\n  \
+         \"event_queue\": {{\n    \"push_pop_default_ns_per_event\": {},\n    \
+         \"push_pop_presized_ns_per_event\": {}\n  }},\n  \
+         \"ping\": {{\n    \"shards\": {}, \"events\": {},\n    \
+         \"sequential_eventqueue_events_per_sec\": {},\n    \
+         \"sharded_1_worker_events_per_sec\": {},\n    \
+         \"sharded_{}_workers_events_per_sec\": {},\n    \
+         \"within_run_speedup\": {:.3}\n  }},\n  \
+         \"service\": {{\n    \"servers\": {}, \"requests\": {}, \"groups\": {}, \"engine_events\": {},\n    \
+         \"sequential_run_requests_per_sec\": {},\n    \
+         \"sharded_1_worker_events_per_sec\": {},\n    \
+         \"sharded_{}_workers_events_per_sec\": {},\n    \
+         \"within_run_speedup\": {:.3}\n  }}\n}}\n",
+        if quick { " -- --quick" } else { "" },
+        if quick { "quick" } else { "full" },
+        host_threads,
+        json_f(push_pop_default_ns),
+        json_f(push_pop_presized_ns),
+        shards,
+        ping_events,
+        json_f(seq_eps),
+        json_f(t1_eps),
+        host_threads,
+        json_f(tn_eps),
+        tn_eps / t1_eps,
+        cfg.servers,
+        cfg.requests,
+        groups,
+        svc_events,
+        json_f(svc_seq_rps),
+        json_f(svc_t1_eps),
+        host_threads,
+        json_f(svc_tn_eps),
+        svc_tn_eps / svc_t1_eps,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

@@ -66,6 +66,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig-service-skew",
     "fig-service-skew-aware",
     "fig-service-ps-est",
+    "fig-service-scale",
     "fig14a",
     "fig14b",
     "fig14c",
@@ -105,6 +106,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig-service-skew" => store::fig_service_skew(effort),
         "fig-service-skew-aware" => store::fig_service_skew_aware(effort),
         "fig-service-ps-est" => store::fig_service_ps_est(effort),
+        "fig-service-scale" => store::fig_service_scale(effort),
         "fig14a" => network::fig14a(effort),
         "fig14b" => network::fig14b(effort),
         "fig14c" => network::fig14c(effort),

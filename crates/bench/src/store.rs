@@ -4,7 +4,7 @@ use crate::util::{ms, num, Report};
 use crate::Effort;
 use redundancy::policy::Policy;
 use simcore::dist::{Distribution, DynDist, Exponential};
-use simcore::runner::Runner;
+use simcore::runner::{global_threads, Runner};
 use std::sync::Arc;
 use std::time::Duration;
 use storesim::experiments::{
@@ -15,6 +15,7 @@ use storesim::service::{
     bounded_pareto_with_mean, stored_load_shares, weibull_with_mean, zipf_popularity, DemandReport,
     Discipline, Frontend, LoadModel, MomentSource, ServiceConfig,
 };
+use storesim::sharded::run_sharded;
 
 /// Which §2.2 figure.
 #[derive(Clone, Copy, Debug)]
@@ -667,6 +668,71 @@ pub fn fig13(effort: Effort) -> String {
         "stub overhead of replication should be >= 9% of the {} ms mean service time",
         ms(prof.mean_service)
     ));
+    r.finish()
+}
+
+/// `fig-service-scale`: the headline experiment of the sharded parallel
+/// engine — one adaptive ramp at a cluster scale (≥256 servers, ≥1M
+/// requests in quick mode) the sequential engine cannot reach in CI. The
+/// run executes on [`storesim::sharded::run_sharded`] with the process
+/// thread budget (`repro --threads`); the §2.1 switch-off headline must
+/// land on the offline threshold exactly as at small scale, and the report
+/// is **byte-identical at every thread count** (CI diffs `--threads
+/// 1/3/8` trees), so no wall-clock figures appear here — engine
+/// throughput lives in `BENCH_engine.json`.
+pub fn fig_service_scale(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig-service-scale: large-cluster adaptive ramp on the sharded parallel engine",
+        "Section 2.1 threshold at scale; engine-scaling headline (no direct paper figure)",
+    );
+    let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+    let mut cfg = ServiceConfig::ramp(service, 0.05, 0.6);
+    cfg.servers = effort.scale(512, 256);
+    cfg.shards = effort.scale(131_072, 65_536);
+    cfg.vnodes = 16;
+    cfg.cancellation = true;
+    // Wide-area propagation doubles as the engine's lookahead window:
+    // 200 µs keeps synchronization rounds fat (hundreds of events each).
+    cfg.propagation = 200.0e-6;
+    cfg.requests = effort.scale(4_000_000, 1_000_000);
+    cfg.warmup = effort.scale(200_000, 50_000);
+    if let Frontend::Adaptive { window, .. } = &mut cfg.frontend {
+        *window = 8192;
+    }
+    let groups = effort.scale(16, 8);
+    let out = run_sharded(&cfg, groups, global_threads());
+    let res = &out.result;
+    r.note(&format!(
+        "{} servers in {} groups (+1 frontend shard), {} shards stored {}-way, FIFO, \
+         cancellation on, exponential 1 ms workload, {} requests (+{} warmup), single ramp",
+        cfg.servers, out.groups, cfg.shards, cfg.stored_replicas, cfg.requests, cfg.warmup
+    ));
+    r.header(&["load", "frac_k2", "mean_ms", "p99_ms"]);
+    for b in &res.buckets {
+        r.row(&[num(b.load), num(b.frac_k2()), ms(b.mean_response), ms(b.p99)]);
+    }
+    r.blank();
+    r.note(&format!("planner switch-off load: {:.5}", res.switch_off));
+    r.note(&format!("offline threshold: {:.5}", res.planner_threshold));
+    r.note(&format!(
+        "switch-off minus threshold: {:+.5} (band: +-0.05)",
+        res.switch_off - res.planner_threshold
+    ));
+    r.note(&format!(
+        "engine: {} events in {} rounds ({:.1} events/round), lookahead {} us",
+        out.engine.events,
+        out.engine.rounds,
+        out.engine.events as f64 / out.engine.rounds.max(1) as f64,
+        cfg.propagation * 1e6
+    ));
+    r.note(&format!(
+        "simulated span: {:.3} s; copies issued {}, cancelled {}; mean utilization {:.4}",
+        out.engine.end_time.as_secs(),
+        res.copies_issued,
+        res.copies_cancelled,
+        res.mean_utilization
+    ));
+    r.note(&format!("completed: {} of {}", res.completed, cfg.requests));
     r.finish()
 }
 

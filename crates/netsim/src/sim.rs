@@ -283,6 +283,9 @@ pub fn run(cfg: &SimConfig) -> FctStats {
         .collect();
 
     let n_links = topo.links();
+    // A few events per flow plus one per link covers the steady-state
+    // population; pre-size so the heap never reallocates mid-run.
+    let queue_cap = (4 * specs.len() + n_links).max(4096);
     let mut eng = Engine {
         cfg,
         topo,
@@ -292,7 +295,7 @@ pub fn run(cfg: &SimConfig) -> FctStats {
         senders,
         receivers,
         specs,
-        q: EventQueue::with_capacity(4096),
+        q: EventQueue::with_capacity(queue_cap),
         ecmp_salt,
     };
 

@@ -22,7 +22,11 @@
 //! * [`runner::Runner`] — a dependency-free scoped-thread executor for the
 //!   embarrassingly-parallel run-many-simulations shape every figure has,
 //!   with deterministic (task-order) results so output is bit-identical at
-//!   any thread count.
+//!   any thread count;
+//! * [`shard::ShardEngine`] — a sharded, conservatively-synchronized
+//!   parallel event engine for parallelism *within* one long simulation,
+//!   with a deterministic `(time, shard, sequence)` merge rule preserving
+//!   the bit-identical-at-any-thread-count invariant.
 //!
 //! Everything here is deterministic given a seed: two runs of any experiment
 //! in this workspace produce byte-identical output, which is what makes the
@@ -64,6 +68,7 @@ pub mod dist;
 pub mod event;
 pub mod rng;
 pub mod runner;
+pub mod shard;
 pub mod simplex;
 pub mod special;
 pub mod stats;
@@ -79,6 +84,7 @@ pub mod prelude {
     pub use crate::event::EventQueue;
     pub use crate::rng::Rng;
     pub use crate::runner::Runner;
+    pub use crate::shard::{EngineStats, ShardCtx, ShardEngine, ShardLogic, ShardQueue};
     pub use crate::stats::{Ccdf, SampleSet, Summary, Welford};
     pub use crate::time::SimTime;
 }

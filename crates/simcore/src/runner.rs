@@ -23,8 +23,12 @@
 //!   parallelism.
 //!
 //! Nested use is permitted (a parallel family sweep whose per-point
-//! threshold search is itself parallel): scoped threads compose, and the
-//! worst case is transient oversubscription, never deadlock.
+//! threshold search is itself parallel): scoped threads compose without
+//! deadlock, and a process-wide [`ThreadBudget`] keeps the composition from
+//! oversubscribing — every spawner ([`Runner::run`], [`Runner::pair`], the
+//! sharded engine in [`crate::shard`]) leases worker slots from the same
+//! budget, so an inner spawner inside a saturated outer one simply runs
+//! serially instead of multiplying thread counts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -61,6 +65,122 @@ pub fn global_threads() -> usize {
     // Cache for next time unless a concurrent set_global_threads won.
     let _ = GLOBAL_THREADS.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
     resolved
+}
+
+/// A cap on the number of concurrently running worker threads, shared by
+/// every spawner in the process.
+///
+/// Spawners call [`ThreadBudget::lease`] with the parallelism they *want*;
+/// the budget grants what fits (always at least 1, i.e. the caller's own
+/// thread) and reclaims the slots when the returned [`ThreadLease`] drops.
+/// Accounting is conservative: the invariant is
+/// `in_use ≤ capacity − 1` (the root thread holds the implicit last slot),
+/// so engine shards nested inside `Runner` tasks — or vice versa — never
+/// multiply into `shards × tasks` threads.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    /// 0 means "track [`global_threads`]"; otherwise a fixed capacity.
+    capacity: usize,
+    /// Extra worker slots currently leased out (beyond each lessee's own
+    /// thread).
+    in_use: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// A budget with a fixed capacity (`>= 1`). Mainly for tests; the
+    /// process-wide budget from [`thread_budget`] tracks [`global_threads`].
+    pub const fn new(capacity: usize) -> Self {
+        ThreadBudget {
+            capacity,
+            in_use: AtomicUsize::new(0),
+        }
+    }
+
+    /// The current capacity.
+    pub fn capacity(&self) -> usize {
+        if self.capacity == 0 {
+            global_threads()
+        } else {
+            self.capacity.max(1)
+        }
+    }
+
+    /// Extra worker slots currently leased (0 when nothing parallel runs).
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::SeqCst)
+    }
+
+    /// Leases up to `want` worker slots. The grant — [`ThreadLease::threads`]
+    /// — counts the caller's thread, is at least 1 and at most `want`, and
+    /// shrinks to whatever the budget has left when other leases are
+    /// outstanding (1 ⇒ run serially).
+    pub fn lease(&self, want: usize) -> ThreadLease<'_> {
+        let want_extra = want.max(1) - 1;
+        let capacity = self.capacity();
+        let mut granted = 0;
+        if want_extra > 0 && capacity > 1 {
+            let mut current = self.in_use.load(Ordering::SeqCst);
+            loop {
+                let available = (capacity - 1).saturating_sub(current);
+                let take = want_extra.min(available);
+                if take == 0 {
+                    break;
+                }
+                match self.in_use.compare_exchange(
+                    current,
+                    current + take,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        granted = take;
+                        break;
+                    }
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+        ThreadLease {
+            budget: self,
+            extra: granted,
+        }
+    }
+}
+
+/// A grant of worker slots from a [`ThreadBudget`]; slots return to the
+/// budget on drop.
+#[derive(Debug)]
+pub struct ThreadLease<'a> {
+    budget: &'a ThreadBudget,
+    extra: usize,
+}
+
+impl ThreadLease<'_> {
+    /// The number of concurrent worker threads this lease permits,
+    /// including the caller's own thread. Always ≥ 1.
+    pub fn threads(&self) -> usize {
+        self.extra + 1
+    }
+}
+
+impl Drop for ThreadLease<'_> {
+    fn drop(&mut self) {
+        if self.extra > 0 {
+            self.budget.in_use.fetch_sub(self.extra, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The process-wide budget (capacity = [`global_threads`], i.e. `repro
+/// --threads` / `LLR_THREADS` / available parallelism).
+pub fn thread_budget() -> &'static ThreadBudget {
+    static GLOBAL_BUDGET: ThreadBudget = ThreadBudget::new(0);
+    &GLOBAL_BUDGET
+}
+
+/// Shorthand for `thread_budget().lease(want)`.
+pub fn lease_threads(want: usize) -> ThreadLease<'static> {
+    thread_budget().lease(want)
 }
 
 /// A parallel executor for independent, index-addressed tasks.
@@ -105,12 +225,19 @@ impl Runner {
     /// `f` must derive everything it needs from its index argument; the
     /// bit-identical-at-any-thread-count guarantee holds exactly when it
     /// does.
+    ///
+    /// The configured thread count is a *desired* parallelism: the actual
+    /// worker count is leased from the process-wide [`ThreadBudget`], so
+    /// nested spawners degrade to serial execution instead of
+    /// oversubscribing. Results are unaffected (the bit-identical
+    /// contract).
     pub fn run<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let threads = self.threads.min(n);
+        let lease = lease_threads(self.threads.min(n));
+        let threads = lease.threads();
         if threads <= 1 {
             return (0..n).map(f).collect();
         }
@@ -170,7 +297,8 @@ impl Runner {
         A: Send,
         B: Send,
     {
-        if self.threads <= 1 {
+        let lease = lease_threads(self.threads.min(2));
+        if lease.threads() <= 1 {
             let ra = a();
             (ra, b())
         } else {
@@ -242,5 +370,72 @@ mod tests {
     fn global_runner_has_positive_threads() {
         assert!(Runner::global().threads() >= 1);
         assert!(global_threads() >= 1);
+    }
+
+    #[test]
+    fn budget_grants_at_most_capacity() {
+        let budget = ThreadBudget::new(4);
+        let lease = budget.lease(8);
+        assert_eq!(lease.threads(), 4);
+        assert_eq!(budget.in_use(), 3);
+        drop(lease);
+        assert_eq!(budget.in_use(), 0);
+    }
+
+    #[test]
+    fn nested_leases_never_oversubscribe() {
+        // The regression this budget exists for: an engine leasing inside
+        // a saturated Runner (or vice versa) must degrade to serial, not
+        // multiply thread counts.
+        let budget = ThreadBudget::new(4);
+        let outer = budget.lease(4);
+        assert_eq!(outer.threads(), 4);
+        let inner = budget.lease(8);
+        assert_eq!(inner.threads(), 1, "no slots left; must run serially");
+        drop(outer);
+        let after = budget.lease(8);
+        assert_eq!(after.threads(), 4, "slots returned on lease drop");
+        // Partial availability: 2 of 3 worker slots taken => grant 1 extra.
+        let budget = ThreadBudget::new(4);
+        let _two = budget.lease(3);
+        assert_eq!(budget.lease(8).threads(), 2);
+    }
+
+    #[test]
+    fn serial_lease_is_free() {
+        let budget = ThreadBudget::new(4);
+        let lease = budget.lease(1);
+        assert_eq!(lease.threads(), 1);
+        assert_eq!(budget.in_use(), 0, "serial leases consume no slots");
+    }
+
+    #[test]
+    fn capacity_one_budget_always_serial() {
+        let budget = ThreadBudget::new(1);
+        assert_eq!(budget.lease(64).threads(), 1);
+        assert_eq!(budget.in_use(), 0);
+    }
+
+    #[test]
+    fn global_budget_tracks_global_threads() {
+        assert_eq!(thread_budget().capacity(), global_threads());
+    }
+
+    #[test]
+    fn nested_runners_respect_the_global_budget() {
+        // Runner::run leases from the process budget; an inner Runner
+        // inside a task sees a reduced (possibly serial) grant but returns
+        // identical results. The in-use count can never exceed
+        // capacity - 1 no matter how deep the nesting.
+        let cap = thread_budget().capacity();
+        let outer = Runner::new(2);
+        let results = outer.run(4, |i| {
+            let inner = Runner::new(8);
+            let inner_sum: usize = inner.run(8, |j| i * 10 + j).iter().sum();
+            assert!(thread_budget().in_use() <= cap.saturating_sub(1));
+            inner_sum
+        });
+        let expected: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(results, expected);
     }
 }

@@ -280,7 +280,9 @@ pub fn run(cfg: &ClusterConfig) -> ClusterResult {
     let mut hits = 0u64;
     let mut accesses = 0u64;
 
-    let mut q: EventQueue<Ev> = EventQueue::with_capacity(1024);
+    // Steady state holds roughly one in-flight request chain per server
+    // plus one pending arrival; pre-size so the heap never reallocates.
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity((8 * cfg.servers).max(1024));
     q.push(
         SimTime::from_secs(arrival_rng.exponential(lambda)),
         Ev::Arrive { req: 0 },

@@ -24,6 +24,10 @@
 //!   front-end consults the `redundancy` planner *per request*, adapting
 //!   the replication factor live as a windowed load estimate crosses the
 //!   §2.1 threshold, with loser cancellation over FIFO or PS servers;
+//! * [`sharded`] — the same online service ported onto `simcore`'s
+//!   sharded parallel engine (one shard per server group plus a frontend
+//!   shard), unlocking hundred-server, million-request ramps with
+//!   bit-identical output at any thread count;
 //! * [`experiments`] — one named configuration per figure (5 through 13),
 //!   plus the service-layer load-ramp experiment.
 //!
@@ -42,7 +46,9 @@ pub mod hashring;
 pub mod lru;
 pub mod memcached;
 pub mod service;
+pub mod sharded;
 
 pub use cluster::{ClusterConfig, ClusterResult};
 pub use experiments::{run_load_sweep, ExperimentSpec, LoadSweepRow};
 pub use service::{ServiceConfig, ServiceResult};
+pub use sharded::{run_sharded, ShardedOutcome};

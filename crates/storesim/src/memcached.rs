@@ -166,7 +166,9 @@ pub fn run_with_profile(cfg: &MemcachedConfig, prof: &MemcachedProfile) -> Memca
     let mut response = SampleSet::with_capacity(cfg.requests);
     let mut end_time = 0.0f64;
 
-    let mut q: EventQueue<Ev> = EventQueue::with_capacity(1024);
+    // Pre-size past the steady-state population (a few events per server)
+    // so the heap never reallocates mid-run.
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity((8 * cfg.servers).max(1024));
     q.push(
         SimTime::from_secs(arrival_rng.exponential(lambda)),
         Ev::Arrive { req: 0 },

@@ -267,7 +267,7 @@ impl ServiceConfig {
 
     /// Offered baseline load of request `i` (warm-up requests all run at
     /// `load_start`; the ramp spans the measured portion).
-    fn offered(&self, i: usize) -> f64 {
+    pub(crate) fn offered(&self, i: usize) -> f64 {
         if i < self.warmup || self.requests <= 1 {
             self.load_start
         } else {
@@ -280,7 +280,7 @@ impl ServiceConfig {
 /// How a popularity sample maps to a shard id — the single definition
 /// shared by the simulation's dispatch path and [`stored_load_shares`]'s
 /// accounting: floored, clamped into `[0, shards)`.
-fn shard_of(sample: f64, shards: usize) -> usize {
+pub(crate) fn shard_of(sample: f64, shards: usize) -> usize {
     (sample.floor().max(0.0) as usize).min(shards - 1)
 }
 
@@ -537,33 +537,33 @@ struct ReqState {
     token: CancelToken,
 }
 
-struct FifoServer {
-    queue: VecDeque<(u32, f64)>,
+pub(crate) struct FifoServer {
+    pub(crate) queue: VecDeque<(u32, f64)>,
     /// `(request id, service demand)` of the copy in service, if any —
     /// the demand is re-surfaced at departure as the server's measured
     /// duration report to the moment estimator.
-    in_service: Option<(u32, f64)>,
-    busy: f64,
+    pub(crate) in_service: Option<(u32, f64)>,
+    pub(crate) busy: f64,
 }
 
-struct PsJob {
-    req: u32,
+pub(crate) struct PsJob {
+    pub(crate) req: u32,
     /// Total service demand (reported to the moment estimator at
     /// completion).
-    size: f64,
-    remaining: f64,
+    pub(crate) size: f64,
+    pub(crate) remaining: f64,
 }
 
-struct PsServer {
-    jobs: Vec<PsJob>,
-    last: f64,
-    epoch: u32,
-    busy: f64,
+pub(crate) struct PsServer {
+    pub(crate) jobs: Vec<PsJob>,
+    pub(crate) last: f64,
+    pub(crate) epoch: u32,
+    pub(crate) busy: f64,
 }
 
 impl PsServer {
     /// Advances the shared-progress clock to `now`.
-    fn advance(&mut self, now: f64) {
+    pub(crate) fn advance(&mut self, now: f64) {
         let elapsed = now - self.last;
         if elapsed > 0.0 && !self.jobs.is_empty() {
             let share = elapsed / self.jobs.len() as f64;
@@ -576,7 +576,7 @@ impl PsServer {
     }
 
     /// Next departure instant for the current job set, if any.
-    fn next_departure(&self, now: f64) -> Option<f64> {
+    pub(crate) fn next_departure(&self, now: f64) -> Option<f64> {
         let min = self
             .jobs
             .iter()
@@ -590,22 +590,10 @@ impl PsServer {
     }
 }
 
-/// Runs the service simulation.
-///
-/// # Panics
-/// Panics on inconsistent configuration: no servers/shards/requests, more
-/// stored replicas than servers, a fixed policy issuing more copies than
-/// stored replicas, loads outside `[0, 1)` (the only stability bound a
-/// tail-only `Hedged` ramp needs), an offered load that saturates the
-/// cluster (`max_copies × load_end ≥ 1` for `Always` policies,
-/// `2 × load_start ≥ 1` for the adaptive mode, which replicates only
-/// below the sub-½ threshold), estimated-mode parameters with
-/// `min_samples` outside `[2, window]`, or **completion-reported**
-/// estimated moments combined with PS cancellation (the purged in-flight
-/// loser censors the completion-based sample — see the validation
-/// comment; [`DemandReport::Dispatch`] is the censoring-free channel that
-/// makes the combination legal).
-pub fn run(cfg: &ServiceConfig) -> ServiceResult {
+/// Shared configuration validation for [`run`] and the sharded engine
+/// port ([`crate::sharded::run_sharded`]) — both entry points reject the
+/// same inconsistent configurations with the same panic messages.
+pub(crate) fn validate_config(cfg: &ServiceConfig) {
     assert!(cfg.servers > 0 && cfg.shards > 0 && cfg.requests > 0);
     assert!(
         cfg.stored_replicas >= 1 && cfg.stored_replicas <= cfg.servers,
@@ -696,6 +684,25 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
             "popularity distribution is empty"
         );
     }
+}
+
+/// Runs the service simulation.
+///
+/// # Panics
+/// Panics on inconsistent configuration: no servers/shards/requests, more
+/// stored replicas than servers, a fixed policy issuing more copies than
+/// stored replicas, loads outside `[0, 1)` (the only stability bound a
+/// tail-only `Hedged` ramp needs), an offered load that saturates the
+/// cluster (`max_copies × load_end ≥ 1` for `Always` policies,
+/// `2 × load_start ≥ 1` for the adaptive mode, which replicates only
+/// below the sub-½ threshold), estimated-mode parameters with
+/// `min_samples` outside `[2, window]`, or **completion-reported**
+/// estimated moments combined with PS cancellation (the purged in-flight
+/// loser censors the completion-based sample — see the validation
+/// comment; [`DemandReport::Dispatch`] is the censoring-free channel that
+/// makes the combination legal).
+pub fn run(cfg: &ServiceConfig) -> ServiceResult {
+    validate_config(cfg);
 
     let mean_service = cfg.service.mean();
     assert!(mean_service.is_finite() && mean_service > 0.0);
@@ -826,7 +833,11 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     let mut completed = 0usize;
     let mut end_time = 0.0f64;
 
-    let mut q: EventQueue<Ev> = EventQueue::with_capacity(4 * 1024);
+    // Pre-size the future-event list to its steady-state footprint: one
+    // pending arrival plus, per server, a handful of in-flight copy /
+    // departure / response events — resizing a BinaryHeap mid-run shows up
+    // directly in the push/pop microbenchmark (`bench-engine`).
+    let mut q: EventQueue<Ev> = EventQueue::with_capacity((8 * cfg.servers).max(4 * 1024));
 
     // --- per-discipline helpers, as macros so they can borrow locals ---
     macro_rules! fifo_start_next {

@@ -1,0 +1,919 @@
+//! The [`service`](crate::service) simulation ported onto the sharded
+//! parallel engine ([`simcore::shard`]) — one engine shard per server
+//! group plus a frontend shard, so a single long ramp can use several
+//! cores.
+//!
+//! The partition follows the physical message flow: `Arrive` and
+//! `HedgeFire` are frontend-local, `FifoDepart`/`PsDepart` are
+//! server-local, and exactly the events that cross the client↔server
+//! boundary in the model — copy dispatches, responses, and cancellations —
+//! become cross-shard messages carrying the existing one-way
+//! [`propagation`](ServiceConfig::propagation) delay, which is therefore
+//! the engine's lookahead window.
+//!
+//! Two deliberate deltas from the sequential [`service::run`] keep every
+//! shard deterministic in isolation (all randomness lives on the
+//! frontend):
+//!
+//! * a copy's service demand is sampled from `svc_rng` at **dispatch** on
+//!   the frontend and carried in the `CopyArrive` message, instead of at
+//!   server arrival — the same per-copy law, drawn in frontend dispatch
+//!   order;
+//! * cancellations are addressed **per request** (`Cancel { req, server }`
+//!   purges that request's copies at that server) instead of via the
+//!   shared [`CancelToken`](redundancy::cancel::CancelToken) — the same
+//!   copies are purged, at most one propagation delay later than the
+//!   token's opportunistic sweep could have caught them.
+//!
+//! Consequently the sharded run is **not** byte-identical to
+//! [`service::run`] on the same config (distributions agree statistically;
+//! a test pins that), but it **is** byte-identical to itself at any thread
+//! count — the workspace invariant — because the engine's
+//! `(time, shard, sequence)` merge rule fixes every pop order and all RNG
+//! draws happen on the frontend shard in its deterministic event order.
+//!
+//! Per-bucket `peak_utilization` is not computed here (it needs a global
+//! per-server busy snapshot at bucket boundaries, which is exactly the
+//! cross-shard coupling the partition removes) and reports NaN;
+//! run-level `mean_utilization` is still exact, folded from per-server
+//! busy totals after the engine drains.
+
+use crate::hashring::HashRing;
+use crate::service::{
+    hottest_stored_server, shard_of, validate_config, DemandReport, Discipline, FifoServer,
+    Frontend, LoadModel, MomentSource, PsJob, PsServer, RampBucket, ServiceConfig, ServiceResult,
+    switch_off_load,
+};
+use redundancy::estimator::{EstimatorBank, MomentEstimator, RateEstimator};
+use redundancy::planner::{Planner, ThresholdCache};
+use redundancy::policy::Policy;
+use simcore::dist::Distribution;
+use simcore::rng::Rng;
+use simcore::shard::{EngineStats, ShardCtx, ShardEngine, ShardLogic};
+use simcore::stats::SampleSet;
+use simcore::time::SimTime;
+use std::collections::VecDeque;
+
+/// Stored-replica ceiling of the sharded port: targets live in a fixed
+/// array on the per-request slot (no per-request allocation on the hot
+/// path). The paper's placements use 2–3.
+pub const MAX_STORED: usize = 4;
+
+#[derive(Clone, Copy, Debug)]
+enum SEv {
+    /// A request enters the front-end (frontend shard).
+    Arrive { req: u32 },
+    /// A hedged request's delay elapsed (frontend shard).
+    HedgeFire { req: u32 },
+    /// A dispatched copy reaches its server, demand pre-sampled at the
+    /// frontend (cross-shard, one propagation delay).
+    CopyArrive { req: u32, server: u16, demand: f64 },
+    /// The in-service FIFO copy at `server` completes (server shard).
+    FifoDepart { server: u16 },
+    /// The PS job set at `server` may have drained its minimum; stale
+    /// epochs are ignored (server shard).
+    PsDepart { server: u16, epoch: u32 },
+    /// A completion travels back to the client; `demand` is re-surfaced
+    /// for completion-mode moment reporting (cross-shard).
+    Response { req: u32, server: u16, demand: f64 },
+    /// The front-end cancels `req`'s copy at `server` (cross-shard).
+    Cancel { req: u32, server: u16 },
+}
+
+/// Per-request bookkeeping on the frontend shard.
+struct ReqSlot {
+    arrival: f64,
+    offered: f64,
+    targets: [u16; MAX_STORED],
+    tlen: u8,
+    sent: u8,
+    hot: bool,
+    done: bool,
+}
+
+/// The frontend shard: arrival process, redundancy stack, per-request
+/// state, and every measurement that keys off request identity.
+struct Front {
+    cfg: ServiceConfig,
+    mean_service: f64,
+    total: usize,
+    span: f64,
+    /// Server id → engine shard id (1 + its group).
+    group_of: Vec<u16>,
+    /// Flat `[shard][replica]` stored-placement table (stride
+    /// `stored_replicas`), precomputed from the ring.
+    stored_tab: Vec<u16>,
+    hot_shard: Vec<bool>,
+    arrival_rng: Rng,
+    place_rng: Rng,
+    svc_rng: Rng,
+    estimator: Option<RateEstimator>,
+    bank: Option<EstimatorBank>,
+    moment_est: Option<MomentEstimator>,
+    min_samples: usize,
+    recalibrate: u64,
+    threshold_cache: ThresholdCache,
+    planner: Planner,
+    live_planner: Planner,
+    live_threshold: f64,
+    observed: u64,
+    recalibrations: u64,
+    reqs: Vec<ReqSlot>,
+    response: SampleSet,
+    bucket_samples: Vec<SampleSet>,
+    bucket_reqs: Vec<usize>,
+    bucket_k2: Vec<usize>,
+    bucket_hot: Vec<usize>,
+    bucket_hot_k2: Vec<usize>,
+    copies_issued: u64,
+    completed: usize,
+}
+
+impl Front {
+    fn bucket_of(&self, offered: f64) -> usize {
+        if self.span.abs() < f64::EPSILON {
+            0
+        } else {
+            (((offered - self.cfg.load_start) / self.span) * self.cfg.buckets as f64)
+                .floor()
+                .clamp(0.0, (self.cfg.buckets - 1) as f64) as usize
+        }
+    }
+
+    fn lambda_of(&self, offered: f64) -> f64 {
+        offered * self.cfg.servers as f64 / self.mean_service
+    }
+
+    /// Ingests one per-copy service duration (see
+    /// [`service::run`](crate::service::run)'s `observe_service!`).
+    fn observe_service(&mut self, svc: f64) {
+        if let Some(me) = self.moment_est.as_mut() {
+            me.observe(svc);
+            self.observed += 1;
+            if me.len() >= self.min_samples && self.observed.is_multiple_of(self.recalibrate) {
+                self.live_threshold =
+                    self.threshold_cache
+                        .threshold(me.mean(), me.scv(), self.cfg.client_overhead);
+                self.live_planner = self.planner.recalibrated(me.mean(), me.scv());
+                self.recalibrations += 1;
+            }
+        }
+    }
+
+    /// Dispatches copies `from..to` of `req`'s target list: demand sampled
+    /// here (frontend RNG), `CopyArrive` sent to the owning server shard.
+    fn dispatch(&mut self, t: f64, req: u32, from: usize, to: usize, ctx: &mut ShardCtx<'_, SEv>) {
+        let prop = SimTime::from_secs(self.cfg.propagation);
+        for idx in from..to {
+            let server = self.reqs[req as usize].targets[idx];
+            let demand = self.cfg.service.sample(&mut self.svc_rng);
+            if self.cfg.demand_report == DemandReport::Dispatch {
+                self.observe_service(demand);
+            }
+            self.copies_issued += 1;
+            ctx.send(
+                self.group_of[server as usize] as usize,
+                prop,
+                SEv::CopyArrive {
+                    req,
+                    server,
+                    demand,
+                },
+            );
+        }
+        // A request counts as duplicated when a second copy is *actually
+        // dispatched* — for hedged policies only when the hedge fires.
+        if from < 2 && to >= 2 && (req as usize) >= self.cfg.warmup {
+            let b = self.bucket_of(self.reqs[req as usize].offered);
+            self.bucket_k2[b] += 1;
+            if self.reqs[req as usize].hot {
+                self.bucket_hot_k2[b] += 1;
+            }
+        }
+        let _ = t;
+        self.reqs[req as usize].sent = to as u8;
+    }
+
+    fn arrive(&mut self, t: f64, req: u32, ctx: &mut ShardCtx<'_, SEv>) {
+        let i = req as usize;
+        let offered = self.cfg.offered(i);
+        let k_stored = self.cfg.stored_replicas;
+
+        let shard = match &self.cfg.popularity {
+            None => self.place_rng.index(self.cfg.shards),
+            Some(d) => shard_of(d.sample(&mut self.place_rng), self.cfg.shards),
+        };
+        let hot = self.hot_shard[shard];
+
+        // Replication decision — same stack as the sequential path.
+        let (copies, hedge_after) = match &self.cfg.frontend {
+            Frontend::Fixed(policy) => match *policy {
+                Policy::Single => (1usize, None),
+                Policy::Always { copies } => (copies, None),
+                Policy::Hedged { copies, after } => (copies, Some(after.as_secs_f64())),
+            },
+            Frontend::Adaptive { load_model, .. } => {
+                let live_mean = match self.moment_est.as_ref() {
+                    Some(me) if me.len() >= self.min_samples => me.mean(),
+                    _ => self.mean_service,
+                };
+                let replicate = match load_model {
+                    LoadModel::Global => {
+                        let est = self.estimator.as_mut().expect("adaptive estimator");
+                        est.observe_arrival(t);
+                        let rho = if est.is_warm() {
+                            est.utilization(live_mean, self.cfg.servers)
+                        } else {
+                            self.cfg.load_start
+                        };
+                        rho < self.live_threshold
+                    }
+                    LoadModel::PerServer => {
+                        let bank = self.bank.as_mut().expect("per-server bank");
+                        let mut rho_max = 0.0f64;
+                        for idx in 0..k_stored {
+                            let s = self.stored_tab[shard * k_stored + idx] as usize;
+                            bank.observe_arrival(s, t);
+                            let rho = if bank.get(s).is_warm() {
+                                bank.utilization(s, live_mean, k_stored)
+                            } else {
+                                self.cfg.load_start
+                            };
+                            rho_max = rho_max.max(rho);
+                        }
+                        let d = self
+                            .live_planner
+                            .decide_for(&mut self.threshold_cache, &[rho_max]);
+                        self.live_threshold = d.threshold_load;
+                        d.replicate
+                    }
+                };
+                (if replicate { 2 } else { 1 }, None)
+            }
+        };
+
+        let k = copies.min(k_stored);
+        let stored = &self.stored_tab[shard * k_stored..shard * k_stored + k_stored];
+        let mut targets = [0u16; MAX_STORED];
+        if k == k_stored && hedge_after.is_none() {
+            targets[..k].copy_from_slice(stored);
+        } else {
+            // Load-balance the primary across the stored set, exactly as
+            // the sequential path shuffles (same place_rng draw order).
+            let mut order = [0usize; MAX_STORED];
+            for (j, slot) in order.iter_mut().enumerate().take(k_stored) {
+                *slot = j;
+            }
+            self.place_rng.shuffle(&mut order[..k_stored]);
+            for j in 0..k {
+                targets[j] = stored[order[j]];
+            }
+        }
+
+        self.reqs.push(ReqSlot {
+            arrival: t,
+            offered,
+            targets,
+            tlen: k as u8,
+            sent: 0,
+            hot,
+            done: false,
+        });
+        debug_assert_eq!(self.reqs.len() - 1, i);
+
+        if i >= self.cfg.warmup {
+            let b = self.bucket_of(offered);
+            self.bucket_reqs[b] += 1;
+            if hot {
+                self.bucket_hot[b] += 1;
+            }
+        }
+
+        match hedge_after {
+            Some(after) => {
+                self.dispatch(t, req, 0, 1, ctx);
+                ctx.schedule_at(SimTime::from_secs(t + after), SEv::HedgeFire { req });
+            }
+            None => {
+                self.dispatch(t, req, 0, k, ctx);
+            }
+        }
+
+        if i + 1 < self.total {
+            let lambda = self.lambda_of(self.cfg.offered(i + 1));
+            let gap = self.arrival_rng.exponential(lambda);
+            ctx.schedule_after(SimTime::from_secs(gap), SEv::Arrive { req: req + 1 });
+        }
+    }
+
+    fn response(&mut self, t: f64, req: u32, server: u16, demand: f64, ctx: &mut ShardCtx<'_, SEv>) {
+        // Completion-mode reporting happens when the response reaches the
+        // client (the server's report rides the response), duplicates
+        // included — the same per-copy sample as the sequential path, one
+        // propagation later.
+        if self.cfg.demand_report == DemandReport::Completion {
+            self.observe_service(demand);
+        }
+        let i = req as usize;
+        if self.reqs[i].done {
+            return;
+        }
+        self.reqs[i].done = true;
+        let state = &self.reqs[i];
+        let extra = (state.sent as f64 - 1.0).max(0.0) * self.cfg.client_overhead;
+        let rt = (t - state.arrival) + extra;
+        let offered = state.offered;
+        if i >= self.cfg.warmup {
+            let b = self.bucket_of(offered);
+            self.response.push(rt);
+            self.bucket_samples[b].push(rt);
+            self.completed += 1;
+        }
+        if self.cfg.cancellation && self.reqs[i].sent > 1 {
+            let prop = SimTime::from_secs(self.cfg.propagation);
+            for idx in 0..self.reqs[i].sent as usize {
+                let other = self.reqs[i].targets[idx];
+                if other != server {
+                    ctx.send(
+                        self.group_of[other as usize] as usize,
+                        prop,
+                        SEv::Cancel { req, server: other },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A server-group shard: a contiguous block of servers with their queues.
+/// No RNG here — demands arrive pre-sampled — so the group's trajectory is
+/// a pure function of its message stream.
+struct Group {
+    /// First global server id in this group.
+    lo: usize,
+    discipline: Discipline,
+    propagation: f64,
+    fifo: Vec<FifoServer>,
+    ps: Vec<PsServer>,
+    cancelled: u64,
+}
+
+impl Group {
+    fn fifo_start_next(&mut self, s: usize, t: f64, ctx: &mut ShardCtx<'_, SEv>) {
+        let srv = &mut self.fifo[s];
+        if let Some((req, svc)) = srv.queue.pop_front() {
+            srv.in_service = Some((req, svc));
+            srv.busy += svc;
+            ctx.schedule_at(
+                SimTime::from_secs(t + svc),
+                SEv::FifoDepart {
+                    server: (self.lo + s) as u16,
+                },
+            );
+        } else {
+            srv.in_service = None;
+        }
+    }
+
+    fn ps_reschedule(&mut self, s: usize, t: f64, ctx: &mut ShardCtx<'_, SEv>) {
+        let srv = &mut self.ps[s];
+        srv.epoch = srv.epoch.wrapping_add(1);
+        if let Some(at) = srv.next_departure(t) {
+            ctx.schedule_at(
+                SimTime::from_secs(at),
+                SEv::PsDepart {
+                    server: (self.lo + s) as u16,
+                    epoch: srv.epoch,
+                },
+            );
+        }
+    }
+
+    fn copy_arrive(&mut self, t: f64, req: u32, server: u16, demand: f64, ctx: &mut ShardCtx<'_, SEv>) {
+        let s = server as usize - self.lo;
+        match self.discipline {
+            Discipline::Fifo => {
+                let srv = &mut self.fifo[s];
+                srv.queue.push_back((req, demand));
+                if srv.in_service.is_none() {
+                    self.fifo_start_next(s, t, ctx);
+                }
+            }
+            Discipline::Ps => {
+                let srv = &mut self.ps[s];
+                srv.advance(t);
+                srv.jobs.push(PsJob {
+                    req,
+                    size: demand,
+                    remaining: demand,
+                });
+                self.ps_reschedule(s, t, ctx);
+            }
+        }
+    }
+
+    fn fifo_depart(&mut self, t: f64, server: u16, ctx: &mut ShardCtx<'_, SEv>) {
+        let s = server as usize - self.lo;
+        let (req, svc) = self.fifo[s]
+            .in_service
+            .take()
+            .expect("depart with idle server");
+        ctx.send(
+            0,
+            SimTime::from_secs(self.propagation),
+            SEv::Response {
+                req,
+                server,
+                demand: svc,
+            },
+        );
+        self.fifo_start_next(s, t, ctx);
+    }
+
+    fn ps_depart(&mut self, t: f64, server: u16, epoch: u32, ctx: &mut ShardCtx<'_, SEv>) {
+        let s = server as usize - self.lo;
+        if self.ps[s].epoch != epoch {
+            return; // stale schedule
+        }
+        self.ps[s].advance(t);
+        let Some(idx) = self.ps[s]
+            .jobs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let job = self.ps[s].jobs.remove(idx);
+        ctx.send(
+            0,
+            SimTime::from_secs(self.propagation),
+            SEv::Response {
+                req: job.req,
+                server,
+                demand: job.size,
+            },
+        );
+        self.ps_reschedule(s, t, ctx);
+    }
+
+    fn cancel(&mut self, t: f64, req: u32, server: u16, ctx: &mut ShardCtx<'_, SEv>) {
+        let s = server as usize - self.lo;
+        match self.discipline {
+            Discipline::Fifo => {
+                // Queued copies of the cancelled request are purged; the
+                // in-service copy runs to completion (a disk read cannot
+                // be withdrawn mid-seek).
+                let before = self.fifo[s].queue.len();
+                self.fifo[s].queue.retain(|&(r, _)| r != req);
+                self.cancelled += (before - self.fifo[s].queue.len()) as u64;
+            }
+            Discipline::Ps => {
+                // PS drops in-progress work too: closing the shared
+                // connection frees the server's share.
+                self.ps[s].advance(t);
+                let before = self.ps[s].jobs.len();
+                self.ps[s].jobs.retain(|j| j.req != req);
+                if self.ps[s].jobs.len() != before {
+                    self.cancelled += (before - self.ps[s].jobs.len()) as u64;
+                    self.ps_reschedule(s, t, ctx);
+                }
+            }
+        }
+    }
+
+    fn busy_total(&self) -> f64 {
+        match self.discipline {
+            Discipline::Fifo => self.fifo.iter().map(|s| s.busy).sum(),
+            Discipline::Ps => self.ps.iter().map(|s| s.busy).sum(),
+        }
+    }
+}
+
+enum Node {
+    Front(Box<Front>),
+    Group(Box<Group>),
+}
+
+impl ShardLogic for Node {
+    type Event = SEv;
+
+    fn handle(&mut self, now: SimTime, ev: SEv, ctx: &mut ShardCtx<'_, SEv>) {
+        let t = now.as_secs();
+        match (self, ev) {
+            (Node::Front(f), SEv::Arrive { req }) => f.arrive(t, req, ctx),
+            (Node::Front(f), SEv::HedgeFire { req }) => {
+                if !f.reqs[req as usize].done {
+                    let (from, to) = (
+                        f.reqs[req as usize].sent as usize,
+                        f.reqs[req as usize].tlen as usize,
+                    );
+                    f.dispatch(t, req, from, to, ctx);
+                }
+            }
+            (Node::Front(f), SEv::Response {
+                req,
+                server,
+                demand,
+            }) => f.response(t, req, server, demand, ctx),
+            (Node::Group(g), SEv::CopyArrive {
+                req,
+                server,
+                demand,
+            }) => g.copy_arrive(t, req, server, demand, ctx),
+            (Node::Group(g), SEv::FifoDepart { server }) => g.fifo_depart(t, server, ctx),
+            (Node::Group(g), SEv::PsDepart { server, epoch }) => {
+                g.ps_depart(t, server, epoch, ctx)
+            }
+            (Node::Group(g), SEv::Cancel { req, server }) => g.cancel(t, req, server, ctx),
+            _ => unreachable!("event routed to the wrong shard kind"),
+        }
+    }
+}
+
+/// A [`ServiceResult`] plus the engine's execution counters.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    /// The measurements, shaped exactly like [`service::run`]'s
+    /// (`peak_utilization` is NaN — see the module docs).
+    pub result: ServiceResult,
+    /// Events, rounds, worker threads, and drain time of the engine run.
+    /// `events` and `rounds` are deterministic and thread-count-invariant.
+    pub engine: EngineStats,
+    /// Server groups used (engine shards minus the frontend).
+    pub groups: usize,
+}
+
+/// Runs the service simulation on the sharded engine with `groups` server
+/// groups (plus the frontend shard) and up to `threads` worker threads
+/// (leased from the process-wide budget; 1 = the sequential reference
+/// path). Output is bit-identical for every `threads` value.
+///
+/// # Panics
+/// Panics on everything [`service::run`] rejects, plus: non-positive
+/// propagation (it is the lookahead), `groups` outside `[1, servers]`, or
+/// more than [`MAX_STORED`] stored replicas.
+pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> ShardedOutcome {
+    validate_config(cfg);
+    assert!(
+        cfg.propagation > 0.0,
+        "sharded engine needs positive propagation (the lookahead window)"
+    );
+    assert!(
+        groups >= 1 && groups <= cfg.servers,
+        "server groups must be in [1, servers]"
+    );
+    assert!(
+        cfg.stored_replicas <= MAX_STORED,
+        "sharded port stores at most {MAX_STORED} replicas"
+    );
+
+    let mean_service = cfg.service.mean();
+    assert!(mean_service.is_finite() && mean_service > 0.0);
+    let planner = cfg.planner();
+    let threshold = planner.threshold_load();
+
+    let mut root = Rng::seed_from(cfg.seed);
+    let mut arrival_rng = root.fork(1);
+    let place_rng = root.fork(2);
+    let svc_rng = root.fork(3);
+
+    // Placement is precomputed into a flat table: the hot path then never
+    // touches the ring (HashRing::replicas allocates per call).
+    let k_stored = cfg.stored_replicas;
+    let ring = HashRing::new(cfg.servers, cfg.vnodes);
+    let mut stored_tab = vec![0u16; cfg.shards * k_stored];
+    for sh in 0..cfg.shards {
+        for (j, &s) in ring.replicas(sh as u64, k_stored).iter().enumerate() {
+            stored_tab[sh * k_stored + j] = s as u16;
+        }
+    }
+    let hot_server = hottest_stored_server(cfg) as u16;
+    let hot_shard: Vec<bool> = (0..cfg.shards)
+        .map(|sh| stored_tab[sh * k_stored..(sh + 1) * k_stored].contains(&hot_server))
+        .collect();
+
+    // Group g owns the contiguous server block [bounds[g], bounds[g+1]).
+    let bounds: Vec<usize> = (0..=groups).map(|g| g * cfg.servers / groups).collect();
+    let mut group_of = vec![0u16; cfg.servers];
+    for g in 0..groups {
+        for s in group_of.iter_mut().take(bounds[g + 1]).skip(bounds[g]) {
+            *s = (g + 1) as u16;
+        }
+    }
+
+    let (estimator, bank) = match &cfg.frontend {
+        Frontend::Adaptive {
+            window, load_model, ..
+        } => match load_model {
+            LoadModel::Global => (Some(RateEstimator::new(*window)), None),
+            LoadModel::PerServer => (None, Some(EstimatorBank::new(cfg.servers, *window))),
+        },
+        Frontend::Fixed(_) => (None, None),
+    };
+    let (moment_est, min_samples, recalibrate) = match &cfg.frontend {
+        Frontend::Adaptive {
+            moments:
+                MomentSource::Estimated {
+                    window,
+                    min_samples,
+                    recalibrate,
+                },
+            ..
+        } => (
+            Some(MomentEstimator::new(*window)),
+            *min_samples,
+            *recalibrate as u64,
+        ),
+        _ => (None, 0, 1),
+    };
+
+    let total = cfg.warmup + cfg.requests;
+    let first_gap =
+        arrival_rng.exponential(cfg.offered(0) * cfg.servers as f64 / mean_service);
+
+    let front = Front {
+        mean_service,
+        total,
+        span: cfg.load_end - cfg.load_start,
+        group_of,
+        stored_tab,
+        hot_shard,
+        arrival_rng,
+        place_rng,
+        svc_rng,
+        estimator,
+        bank,
+        moment_est,
+        min_samples,
+        recalibrate,
+        threshold_cache: ThresholdCache::new(),
+        planner,
+        live_planner: planner,
+        live_threshold: threshold,
+        observed: 0,
+        recalibrations: 0,
+        reqs: Vec::with_capacity(total),
+        response: SampleSet::with_capacity(cfg.requests),
+        bucket_samples: (0..cfg.buckets).map(|_| SampleSet::new()).collect(),
+        bucket_reqs: vec![0; cfg.buckets],
+        bucket_k2: vec![0; cfg.buckets],
+        bucket_hot: vec![0; cfg.buckets],
+        bucket_hot_k2: vec![0; cfg.buckets],
+        copies_issued: 0,
+        completed: 0,
+        cfg: cfg.clone(),
+    };
+
+    let mut nodes = Vec::with_capacity(groups + 1);
+    nodes.push(Node::Front(Box::new(front)));
+    for g in 0..groups {
+        let n = bounds[g + 1] - bounds[g];
+        let (fifo, ps) = match cfg.discipline {
+            Discipline::Fifo => (
+                (0..n)
+                    .map(|_| FifoServer {
+                        queue: VecDeque::new(),
+                        in_service: None,
+                        busy: 0.0,
+                    })
+                    .collect(),
+                Vec::new(),
+            ),
+            Discipline::Ps => (
+                Vec::new(),
+                (0..n)
+                    .map(|_| PsServer {
+                        jobs: Vec::new(),
+                        last: 0.0,
+                        epoch: 0,
+                        busy: 0.0,
+                    })
+                    .collect(),
+            ),
+        };
+        nodes.push(Node::Group(Box::new(Group {
+            lo: bounds[g],
+            discipline: cfg.discipline,
+            propagation: cfg.propagation,
+            fifo,
+            ps,
+            cancelled: 0,
+        })));
+    }
+
+    let mut engine = ShardEngine::new(nodes, SimTime::from_secs(cfg.propagation));
+    // Pre-size per-shard queues to their steady-state footprint.
+    engine.reserve(0, 4 * 1024);
+    for g in 0..groups {
+        engine.reserve(1 + g, (8 * (bounds[g + 1] - bounds[g])).max(256));
+    }
+    engine.schedule(0, SimTime::from_secs(first_gap), SEv::Arrive { req: 0 });
+
+    let stats = engine.run(threads);
+
+    let mut states = engine.into_states().into_iter();
+    let mut front = match states.next().expect("frontend shard") {
+        Node::Front(f) => f,
+        Node::Group(_) => unreachable!("shard 0 is the frontend"),
+    };
+    let mut busy = 0.0f64;
+    let mut copies_cancelled = 0u64;
+    for node in states {
+        match node {
+            Node::Group(g) => {
+                busy += g.busy_total();
+                copies_cancelled += g.cancelled;
+            }
+            Node::Front(_) => unreachable!("only shard 0 is the frontend"),
+        }
+    }
+    let end_time = stats.end_time.as_secs();
+
+    let span = front.span;
+    let buckets: Vec<RampBucket> = (0..cfg.buckets)
+        .map(|b| {
+            let width = if span.abs() < f64::EPSILON {
+                0.0
+            } else {
+                span / cfg.buckets as f64
+            };
+            let load = cfg.load_start + width * (b as f64 + 0.5);
+            let samples = &mut front.bucket_samples[b];
+            let (mean_response, p99) = if samples.is_empty() {
+                (f64::NAN, f64::NAN)
+            } else {
+                (samples.mean(), samples.quantile(0.99))
+            };
+            RampBucket {
+                load,
+                requests: front.bucket_reqs[b],
+                k2_requests: front.bucket_k2[b],
+                mean_response,
+                p99,
+                peak_utilization: f64::NAN,
+                hot_requests: front.bucket_hot[b],
+                hot_k2_requests: front.bucket_hot_k2[b],
+            }
+        })
+        .collect();
+    let curve: Vec<(f64, f64)> = buckets.iter().map(|b| (b.load, b.frac_k2())).collect();
+    let (est_mean_service, est_scv) = match front.moment_est.as_ref() {
+        Some(me) if me.len() >= front.min_samples => (me.mean(), me.scv()),
+        _ => (f64::NAN, f64::NAN),
+    };
+
+    let result = ServiceResult {
+        response: front.response,
+        switch_off: switch_off_load(&curve),
+        planner_threshold: threshold,
+        live_threshold: match &cfg.frontend {
+            Frontend::Fixed(_) => f64::NAN,
+            Frontend::Adaptive { .. } => front.live_threshold,
+        },
+        est_mean_service,
+        est_scv,
+        recalibrations: front.recalibrations,
+        buckets,
+        copies_issued: front.copies_issued,
+        copies_cancelled,
+        mean_utilization: busy / (cfg.servers as f64 * end_time.max(f64::MIN_POSITIVE)),
+        completed: front.completed,
+    };
+    ShardedOutcome {
+        result,
+        engine: stats,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service;
+    use simcore::dist::{DynDist, Exponential};
+    use std::sync::Arc;
+
+    fn small_ramp() -> ServiceConfig {
+        let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+        let mut cfg = ServiceConfig::ramp(service, 0.05, 0.55);
+        cfg.servers = 16;
+        cfg.shards = 2048;
+        cfg.requests = 30_000;
+        cfg.warmup = 3_000;
+        cfg
+    }
+
+    /// Collapses an outcome into a bitwise fingerprint of everything the
+    /// reports print.
+    fn fingerprint(out: &ShardedOutcome) -> Vec<u64> {
+        let mut v = vec![
+            out.result.response.mean().to_bits(),
+            out.result.switch_off.to_bits(),
+            out.result.live_threshold.to_bits(),
+            out.result.mean_utilization.to_bits(),
+            out.result.copies_issued,
+            out.result.copies_cancelled,
+            out.result.completed as u64,
+            out.engine.events,
+            out.engine.rounds,
+        ];
+        for b in &out.result.buckets {
+            v.push(b.requests as u64);
+            v.push(b.k2_requests as u64);
+            v.push(b.mean_response.to_bits());
+            v.push(b.p99.to_bits());
+        }
+        v
+    }
+
+    #[test]
+    fn bit_identical_at_every_thread_count() {
+        let cfg = small_ramp();
+        let reference = fingerprint(&run_sharded(&cfg, 5, 1));
+        for threads in [2, 3, 6, 8] {
+            assert_eq!(
+                reference,
+                fingerprint(&run_sharded(&cfg, 5, threads)),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_count_is_part_of_the_config_not_the_schedule() {
+        // Different groupings change message routing but not the physical
+        // model: switch-off and copy counts stay close (not bitwise —
+        // per-shard FIFO tie-breaks shift with the partition).
+        let cfg = small_ramp();
+        let a = run_sharded(&cfg, 1, 1);
+        let b = run_sharded(&cfg, 8, 1);
+        assert_eq!(a.result.completed, b.result.completed);
+        assert_eq!(a.result.copies_issued, b.result.copies_issued);
+        assert!((a.result.switch_off - b.result.switch_off).abs() < 0.05);
+    }
+
+    #[test]
+    fn matches_sequential_service_statistically() {
+        // Same config through both engines: distributions must agree even
+        // though event interleavings (and so exact samples) differ.
+        let cfg = small_ramp();
+        let seq = service::run(&cfg);
+        let sh = run_sharded(&cfg, 4, 1).result;
+        assert_eq!(seq.completed, sh.completed);
+        let (a, b) = (seq.response.mean(), sh.response.mean());
+        assert!((a - b).abs() / a < 0.05, "mean {a} vs {b}");
+        assert!(
+            (seq.switch_off - sh.switch_off).abs() < 0.05,
+            "switch-off {} vs {}",
+            seq.switch_off,
+            sh.switch_off
+        );
+        assert!((seq.mean_utilization - sh.mean_utilization).abs() < 0.03);
+    }
+
+    #[test]
+    fn cancellation_works_across_shards() {
+        let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+        let mut cfg = ServiceConfig::ramp(service, 0.2, 0.2);
+        cfg.servers = 12;
+        cfg.frontend = Frontend::Fixed(Policy::Always { copies: 2 });
+        cfg.cancellation = true;
+        cfg.requests = 20_000;
+        cfg.warmup = 2_000;
+        cfg.buckets = 1;
+        let out = run_sharded(&cfg, 4, 1);
+        assert_eq!(out.result.completed, cfg.requests);
+        assert!(out.result.copies_cancelled > 0, "no copies cancelled");
+        let seq = service::run(&cfg);
+        let rel = (out.result.copies_cancelled as f64 - seq.copies_cancelled as f64).abs()
+            / seq.copies_cancelled as f64;
+        assert!(rel < 0.05, "cancelled {} vs {}", out.result.copies_cancelled, seq.copies_cancelled);
+    }
+
+    #[test]
+    fn ps_discipline_runs_sharded() {
+        let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+        let mut cfg = ServiceConfig::ramp(service, 0.3, 0.3);
+        cfg.discipline = Discipline::Ps;
+        cfg.frontend = Frontend::Fixed(Policy::Single);
+        cfg.requests = 20_000;
+        cfg.warmup = 2_000;
+        cfg.buckets = 1;
+        let out = run_sharded(&cfg, 3, 1);
+        assert_eq!(out.result.completed, cfg.requests);
+        let expect = 1.0e-3 / (1.0 - 0.3) + 2.0 * cfg.propagation;
+        let got = out.result.response.mean();
+        assert!((got - expect).abs() / expect < 0.10, "PS mean {got} vs {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "saturates")]
+    fn rejects_saturating_config_like_sequential() {
+        let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+        let mut cfg = ServiceConfig::ramp(service, 0.6, 0.6);
+        cfg.frontend = Frontend::Fixed(Policy::Always { copies: 2 });
+        let _ = run_sharded(&cfg, 2, 1);
+    }
+}

@@ -78,6 +78,31 @@ else
   fails=$((fails + 1))
 fi
 
+# fig-service-scale: the sharded parallel engine reproduces the section-2.1
+# switch-off at cluster scale (256+ servers, 1M+ requests) — and because the
+# run executes on the parallel engine, the repro-quick byte-diff across
+# --threads trees doubles as its determinism gate.
+if [ -f "$dir/fig-service-scale.txt" ]; then
+  so=$(grep -o 'planner switch-off load: [0-9.]*' "$dir/fig-service-scale.txt" | grep -o '[0-9.]*$')
+  th=$(grep -o 'offline threshold: [0-9.]*' "$dir/fig-service-scale.txt" | grep -o '[0-9.]*$')
+  done_n=$(grep -o 'completed: [0-9]*' "$dir/fig-service-scale.txt" | grep -o '[0-9]*$')
+  if [ -n "$so" ] && [ -n "$th" ] && awk "BEGIN { d = $so - $th; if (d < 0) d = -d; exit !(d <= 0.05) }"; then
+    echo "ok   fig-service-scale: switch-off $so within 0.05 of threshold $th"
+  else
+    echo "FAIL fig-service-scale: switch-off '$so' vs threshold '$th' out of band"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$done_n" ] && [ "$done_n" -ge 1000000 ]; then
+    echo "ok   fig-service-scale: $done_n requests completed (>= 1M)"
+  else
+    echo "FAIL fig-service-scale: completed '$done_n' below 1M"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-scale: missing $dir/fig-service-scale.txt"
+  fails=$((fails + 1))
+fi
+
 # fig-service-est: the fully self-calibrating planner (rate, mean, and SCV
 # all measured online) must land its switch-off within +-0.08 of the
 # offline threshold, and within +-0.08 of the clairvoyant run it replaces.

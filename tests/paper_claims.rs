@@ -337,3 +337,27 @@ fn harness_dispatch_smoke() {
         assert!(out.contains("paper:"), "{id} report malformed");
     }
 }
+
+/// Sharded-engine headline: the §2.1 switch-off still lands on the
+/// offline threshold when the adaptive ramp runs at cluster scale
+/// (256 servers, 1M requests) on the parallel engine — and the run
+/// completes, i.e. the conservative synchronization never deadlocks or
+/// drops an event at this size.
+#[test]
+fn sharded_scale_switch_off_lands_in_band() {
+    let out = run_experiment("fig-service-scale", Effort::Quick);
+    let switch_off = grab_headline(&out, "# planner switch-off load:");
+    let threshold = grab_headline(&out, "# offline threshold:");
+    assert!(
+        (threshold - 1.0 / 3.0).abs() < 0.01,
+        "offline threshold {threshold} != 1/3"
+    );
+    assert!(
+        (switch_off - threshold).abs() <= 0.05,
+        "scale switch-off {switch_off} vs threshold {threshold}"
+    );
+    assert!(
+        out.contains("# completed: 1000000 of 1000000"),
+        "scale ramp must complete every request"
+    );
+}

@@ -724,3 +724,209 @@ fn library_race_end_to_end() {
     .unwrap();
     assert_eq!(out.value, "fast");
 }
+
+/// A single [`ShardQueue`] pops in exactly the order of the sequential
+/// [`EventQueue`] on randomized schedules — including heavy simultaneous-
+/// event ties, which must break FIFO by insertion order on both. This is
+/// the base case of the sharded engine's determinism guarantee: with one
+/// shard there is no merge rule left, only the queue.
+#[test]
+fn shard_queue_pop_order_matches_event_queue() {
+    use low_latency_redundancy::simcore::shard::ShardQueue;
+    let mut rng = Rng::seed_from(0x5AA2D);
+    for case in 0..100 {
+        let n = 1 + rng.index(300);
+        // Few distinct times => many exact ties.
+        let span = 1 + rng.index(8) as u64;
+        let mut eq = EventQueue::new();
+        let mut sq = ShardQueue::new(0);
+        for i in 0..n {
+            let t = SimTime::from_secs(rng.u64_below(span) as f64);
+            eq.push(t, i);
+            sq.push(t, i);
+        }
+        loop {
+            match (eq.pop(), sq.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b, "case {case}: pop order diverged"),
+            }
+        }
+    }
+}
+
+/// The sharded engine delivers a bit-identical event trace at every
+/// worker count, on randomized schedules that exercise the hard cases:
+/// same-timestamp ties within a shard and cross-shard messages landing
+/// *exactly* on the synchronization-horizon boundary (`delay ==
+/// lookahead`, the smallest legal delay, which places the arrival at the
+/// first instant of a later window).
+#[test]
+fn sharded_engine_trace_identical_across_worker_counts() {
+    use low_latency_redundancy::simcore::shard::{ShardCtx, ShardEngine, ShardLogic};
+
+    const LOOKAHEAD: f64 = 1.0e-3;
+
+    struct Rec {
+        shards: usize,
+        budget: u32,
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl ShardLogic for Rec {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, id: u32, ctx: &mut ShardCtx<'_, u32>) {
+            self.log.push((now, id));
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            let h = id.wrapping_mul(2_654_435_761);
+            match h % 4 {
+                // A tie: same timestamp, must pop after everything already
+                // queued at `now`.
+                0 => ctx.schedule_after(SimTime::ZERO, id + 1),
+                1 => ctx.schedule_after(SimTime::from_secs((h % 7 + 1) as f64 * 1e-4), id + 1),
+                // Message arriving exactly on the horizon boundary.
+                2 if self.shards > 1 => {
+                    let to = (ctx.shard() + 1 + (h as usize % (self.shards - 1))) % self.shards;
+                    ctx.send(to, SimTime::from_secs(LOOKAHEAD), id + 1);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut rng = Rng::seed_from(0xC0DE5);
+    for &shards in &[1usize, 2, 5] {
+        let run = |workers: usize, seeds: &[(usize, u64)]| {
+            let states = (0..shards)
+                .map(|_| Rec {
+                    shards,
+                    budget: 400,
+                    log: Vec::new(),
+                })
+                .collect();
+            let mut engine = ShardEngine::new(states, SimTime::from_secs(LOOKAHEAD));
+            for &(s, t) in seeds {
+                engine.schedule(s, SimTime::from_secs(t as f64 * 1e-4), t as u32);
+            }
+            let stats = engine.run_with(workers);
+            (stats, engine.into_states())
+        };
+        let seeds: Vec<(usize, u64)> = (0..40)
+            .map(|_| (rng.index(shards), rng.u64_below(20)))
+            .collect();
+        let (base_stats, base_states) = run(1, &seeds);
+        for workers in [2usize, 3, 8] {
+            let (stats, states) = run(workers, &seeds);
+            assert_eq!(stats.events, base_stats.events, "{shards} shards @ {workers} workers");
+            assert_eq!(stats.rounds, base_stats.rounds, "{shards} shards @ {workers} workers");
+            assert_eq!(stats.end_time, base_stats.end_time);
+            for (s, (a, b)) in base_states.iter().zip(&states).enumerate() {
+                assert_eq!(
+                    a.log, b.log,
+                    "shard {s} trace diverged at {workers} workers ({shards} shards)"
+                );
+            }
+        }
+    }
+}
+
+/// The sharded *service* produces bit-identical measurements at every
+/// thread count — the workspace's signature invariant carried onto the
+/// parallel engine (CI additionally byte-diffs whole `repro` result trees
+/// at `--threads 1/3/8`).
+#[test]
+fn sharded_service_bit_identical_across_thread_counts() {
+    use low_latency_redundancy::simcore::dist::Exponential;
+    use low_latency_redundancy::storesim::service::{Frontend, ServiceConfig};
+    use low_latency_redundancy::storesim::sharded::run_sharded;
+    use std::sync::Arc;
+
+    let mut cfg = ServiceConfig::ramp(Arc::new(Exponential::with_mean(1.0e-3)), 0.1, 0.5);
+    cfg.servers = 24;
+    cfg.shards = 1536;
+    cfg.cancellation = true;
+    cfg.propagation = 200.0e-6;
+    cfg.requests = 12_000;
+    cfg.warmup = 1_000;
+    if let Frontend::Adaptive { window, .. } = &mut cfg.frontend {
+        *window = 512;
+    }
+
+    let base = run_sharded(&cfg, 6, 1);
+    for threads in [3usize, 8] {
+        let out = run_sharded(&cfg, 6, threads);
+        assert_eq!(out.engine.events, base.engine.events, "{threads} threads");
+        assert_eq!(out.engine.rounds, base.engine.rounds, "{threads} threads");
+        assert_eq!(out.result.completed, base.result.completed);
+        assert_eq!(out.result.copies_issued, base.result.copies_issued);
+        assert_eq!(out.result.copies_cancelled, base.result.copies_cancelled);
+        assert_eq!(
+            out.result.switch_off.to_bits(),
+            base.result.switch_off.to_bits()
+        );
+        assert_eq!(
+            out.result.mean_utilization.to_bits(),
+            base.result.mean_utilization.to_bits()
+        );
+        for (i, (a, b)) in base.result.buckets.iter().zip(&out.result.buckets).enumerate() {
+            assert_eq!(a.requests, b.requests, "bucket {i} @ {threads} threads");
+            assert_eq!(a.k2_requests, b.k2_requests, "bucket {i} @ {threads} threads");
+            assert_eq!(
+                a.mean_response.to_bits(),
+                b.mean_response.to_bits(),
+                "bucket {i} @ {threads} threads"
+            );
+            assert_eq!(a.p99.to_bits(), b.p99.to_bits(), "bucket {i} @ {threads} threads");
+        }
+    }
+}
+
+/// One process-wide thread budget composes across nested spawners: a
+/// saturated outer lease forces inner spawners serial instead of
+/// multiplying `tasks × shards` threads, slots return on drop, and an
+/// engine nested inside `Runner` tasks still produces the serial-identical
+/// result (no deadlock, no divergence).
+#[test]
+fn nested_thread_budget_composes_without_oversubscription() {
+    use low_latency_redundancy::simcore::dist::Exponential;
+    use low_latency_redundancy::simcore::runner::{Runner, ThreadBudget};
+    use low_latency_redundancy::storesim::service::ServiceConfig;
+    use low_latency_redundancy::storesim::sharded::run_sharded;
+    use std::sync::Arc;
+
+    // Instance-level accounting (exact, free of cross-test races on the
+    // process-wide budget): capacity 4 = caller + 3 extra.
+    let budget = ThreadBudget::new(4);
+    let outer = budget.lease(4);
+    assert_eq!(outer.threads(), 4);
+    assert_eq!(budget.in_use(), 3);
+    let inner = budget.lease(8);
+    assert_eq!(inner.threads(), 1, "saturated budget must degrade to serial");
+    drop(inner);
+    drop(outer);
+    assert_eq!(budget.in_use(), 0, "slots must return on drop");
+    let again = budget.lease(2);
+    assert_eq!(again.threads(), 2);
+    drop(again);
+
+    // Integration: engines nested inside Runner tasks lease from the same
+    // global budget, so however the grant lands, every nested run must
+    // match the serial reference bit-for-bit and the budget must drain.
+    let mut cfg = ServiceConfig::ramp(Arc::new(Exponential::with_mean(1.0e-3)), 0.1, 0.4);
+    cfg.servers = 8;
+    cfg.shards = 512;
+    cfg.requests = 4_000;
+    cfg.warmup = 400;
+    let reference = run_sharded(&cfg, 4, 1);
+    let nested = Runner::new(8).run(3, |_| run_sharded(&cfg, 4, 8));
+    for out in &nested {
+        assert_eq!(out.engine.events, reference.engine.events);
+        assert_eq!(
+            out.result.switch_off.to_bits(),
+            reference.result.switch_off.to_bits()
+        );
+        assert_eq!(out.result.completed, reference.result.completed);
+    }
+}
