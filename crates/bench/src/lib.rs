@@ -67,6 +67,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig-service-skew-aware",
     "fig-service-ps-est",
     "fig-service-scale",
+    "fig-service-frontier",
     "fig14a",
     "fig14b",
     "fig14c",
@@ -107,6 +108,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig-service-skew-aware" => store::fig_service_skew_aware(effort),
         "fig-service-ps-est" => store::fig_service_ps_est(effort),
         "fig-service-scale" => store::fig_service_scale(effort),
+        "fig-service-frontier" => store::fig_service_frontier(effort),
         "fig14a" => network::fig14a(effort),
         "fig14b" => network::fig14b(effort),
         "fig14c" => network::fig14c(effort),

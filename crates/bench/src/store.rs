@@ -15,7 +15,7 @@ use storesim::service::{
     bounded_pareto_with_mean, stored_load_shares, weibull_with_mean, zipf_popularity, DemandReport,
     Discipline, Frontend, LoadModel, MomentSource, ServiceConfig,
 };
-use storesim::sharded::run_sharded;
+use storesim::sharded::{run_sharded, run_sharded_placed};
 
 /// Which §2.2 figure.
 #[derive(Clone, Copy, Debug)]
@@ -733,6 +733,102 @@ pub fn fig_service_scale(effort: Effort) -> String {
         res.mean_utilization
     ));
     r.note(&format!("completed: {} of {}", res.completed, cfg.requests));
+    r.finish()
+}
+
+/// `fig-service-frontier`: the frontend-placement frontier of the sharded
+/// engine. One large adaptive ramp is decomposed into 8 frontend lanes and
+/// executed with the lanes placed on F ∈ {1, 2, 4, 8} engine shards —
+/// the same simulation four times over. Placement is pure execution, so
+/// the experiment *asserts* that all four placements produce bitwise
+/// identical results (and that each lands the §2.1 switch-off on the
+/// offline threshold); wall-clock requests/sec per F lives in
+/// `BENCH_engine.json`, keeping this report byte-identical at every
+/// thread count and placement like the rest of the suite.
+pub fn fig_service_frontier(effort: Effort) -> String {
+    let mut r = Report::new(
+        "fig-service-frontier: frontend placement sweep on the sharded parallel engine",
+        "Section 2.1 threshold under a decomposed frontend; placement-invariance headline \
+         (no direct paper figure)",
+    );
+    let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+    let mut cfg = ServiceConfig::ramp(service, 0.05, 0.6);
+    cfg.servers = effort.scale(512, 256);
+    cfg.shards = effort.scale(131_072, 65_536);
+    cfg.vnodes = 16;
+    cfg.cancellation = true;
+    cfg.propagation = 200.0e-6;
+    cfg.requests = effort.scale(4_000_000, 1_000_000);
+    cfg.warmup = effort.scale(200_000, 50_000);
+    cfg.frontend_lanes = 8;
+    if let Frontend::Adaptive { window, .. } = &mut cfg.frontend {
+        *window = 8192;
+    }
+    let groups = effort.scale(16, 8);
+    r.note(&format!(
+        "{} servers in {} groups, {} shards stored {}-way, FIFO, cancellation on, \
+         exponential 1 ms workload, {} requests (+{} warmup), 8 frontend lanes, \
+         single ramp repeated at F = 1/2/4/8 frontend shards",
+        cfg.servers, groups, cfg.shards, cfg.stored_replicas, cfg.requests, cfg.warmup
+    ));
+    r.header(&[
+        "frontends",
+        "switch_off",
+        "delta_vs_threshold",
+        "summaries",
+        "events",
+        "rounds",
+    ]);
+    let mut reference: Option<Vec<u64>> = None;
+    for frontends in [1usize, 2, 4, 8] {
+        let out = run_sharded_placed(&cfg, groups, global_threads(), frontends);
+        let res = &out.result;
+        // Placement invariance is an assertion, not a statistic: every F
+        // must reproduce F = 1 bit for bit.
+        let mut fp = vec![
+            res.response.mean().to_bits(),
+            res.switch_off.to_bits(),
+            res.live_threshold.to_bits(),
+            res.mean_utilization.to_bits(),
+            res.copies_issued,
+            res.copies_cancelled,
+            res.completed as u64,
+            out.summaries,
+            out.engine.events,
+            out.engine.rounds,
+        ];
+        for b in &res.buckets {
+            fp.push(b.requests as u64);
+            fp.push(b.k2_requests as u64);
+            fp.push(b.mean_response.to_bits());
+            fp.push(b.p99.to_bits());
+        }
+        match &reference {
+            None => reference = Some(fp),
+            Some(rf) => assert_eq!(
+                rf, &fp,
+                "frontend placement F={frontends} changed the output"
+            ),
+        }
+        let delta = res.switch_off - res.planner_threshold;
+        assert!(
+            delta.abs() <= 0.05,
+            "switch-off {:.5} strays from threshold {:.5} at F={frontends}",
+            res.switch_off,
+            res.planner_threshold
+        );
+        r.row(&[
+            format!("{frontends}"),
+            num(res.switch_off),
+            format!("{delta:+.5}"),
+            format!("{}", out.summaries),
+            format!("{}", out.engine.events),
+            format!("{}", out.engine.rounds),
+        ]);
+    }
+    r.blank();
+    r.note("all four placements produced bitwise identical results (asserted)");
+    r.note("wall-clock requests/sec per placement: see BENCH_engine.json (service_frontier)");
     r.finish()
 }
 

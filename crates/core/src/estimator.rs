@@ -323,6 +323,202 @@ impl EstimatorBank {
     }
 }
 
+/// One frontend's broadcastable contribution to the cluster-wide load
+/// picture: the current rate estimate per tracked index (one entry for a
+/// global estimator, one per server for an [`EstimatorBank`]).
+///
+/// A sharded frontend only observes the arrivals for *its own* slice of
+/// the key space, so its local estimators systematically under-count
+/// every server's true arrival rate. Summaries close the gap without
+/// shared memory: each frontend periodically snapshots its rates, sends
+/// the summary to its peers (over the engine's cross-shard wires, floored
+/// at the lookahead), and combines whatever it last heard from each peer
+/// with its own live estimate through [`PeerLoads`]. Rates are additive —
+/// superposing the per-frontend arrival streams sums their rates — which
+/// is what makes this exchange exact in steady state rather than a
+/// heuristic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadSummary {
+    rates: Box<[f64]>,
+}
+
+impl LoadSummary {
+    /// A single-rate summary (the [`RateEstimator`] / global-load case).
+    pub fn global(rate: f64) -> Self {
+        LoadSummary {
+            rates: Box::new([rate]),
+        }
+    }
+
+    /// A per-index summary (the [`EstimatorBank`] / per-server case).
+    pub fn per_index(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "summary needs at least one rate");
+        LoadSummary {
+            rates: rates.into_boxed_slice(),
+        }
+    }
+
+    /// Number of indexed rates carried.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `true` when the summary carries no rates (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The rate reported for index `idx`.
+    pub fn rate(&self, idx: usize) -> f64 {
+        self.rates[idx]
+    }
+}
+
+/// The receive side of the load-summary exchange: the latest
+/// [`LoadSummary`] heard from each peer frontend, combinable with the
+/// local estimate by rate addition.
+///
+/// Missing peers (nothing heard yet) contribute zero — exactly how a cold
+/// local [`RateEstimator`] reports itself — so the combined estimate warms
+/// up the same way a single frontend's does.
+#[derive(Clone, Debug)]
+pub struct PeerLoads {
+    summaries: Vec<Option<LoadSummary>>,
+    indices: usize,
+}
+
+impl PeerLoads {
+    /// A board for `peers` peer frontends, each summarizing `indices`
+    /// rates (1 for global estimators, `servers` for a bank).
+    ///
+    /// # Panics
+    /// Panics if `indices == 0`.
+    pub fn new(peers: usize, indices: usize) -> Self {
+        assert!(indices >= 1, "peer board needs at least one index");
+        PeerLoads {
+            summaries: vec![None; peers],
+            indices,
+        }
+    }
+
+    /// Number of peer slots.
+    pub fn peers(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// Stores the latest summary from `peer`, replacing any previous one.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range peer or a summary of the wrong width.
+    pub fn apply(&mut self, peer: usize, summary: LoadSummary) {
+        assert_eq!(
+            summary.len(),
+            self.indices,
+            "summary width mismatch: got {}, expected {}",
+            summary.len(),
+            self.indices
+        );
+        self.summaries[peer] = Some(summary);
+    }
+
+    /// Sum of the peers' last-reported rates for index `idx` (peers not
+    /// heard from contribute zero).
+    pub fn peer_rate(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.indices);
+        self.summaries
+            .iter()
+            .flatten()
+            .map(|s| s.rate(idx))
+            .sum()
+    }
+
+    /// The cluster-wide rate for index `idx`: the caller's own live
+    /// estimate plus every peer's last summary.
+    pub fn total_rate(&self, idx: usize, own_rate: f64) -> f64 {
+        own_rate + self.peer_rate(idx)
+    }
+}
+
+impl RateEstimator {
+    /// Snapshot of this estimator's current rate as a broadcastable
+    /// [`LoadSummary`] (width 1).
+    pub fn summary(&self) -> LoadSummary {
+        LoadSummary::global(self.rate())
+    }
+}
+
+impl EstimatorBank {
+    /// Snapshot of every index's current rate as a broadcastable
+    /// [`LoadSummary`] (width `len()`).
+    pub fn summary(&self) -> LoadSummary {
+        LoadSummary::per_index(self.estimators.iter().map(|e| e.rate()).collect())
+    }
+}
+
+/// A mergeable snapshot of windowed service-time moments — `(count, mean,
+/// M2)` in Welford form, combinable across estimators with Chan et al.'s
+/// parallel update. Lets F sharded frontends each run a private
+/// [`MomentEstimator`] and still observe the *cluster-wide* service law
+/// (for recalibration or reporting) by merging snapshots, without sharing
+/// any mutable state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MomentSnapshot {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Mean of the summarized samples (0 when `count == 0`).
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (Welford's M2).
+    pub m2: f64,
+}
+
+impl MomentSnapshot {
+    /// The zero-sample snapshot: the identity of [`merge`](Self::merge).
+    pub const EMPTY: MomentSnapshot = MomentSnapshot {
+        count: 0,
+        mean: 0.0,
+        m2: 0.0,
+    };
+
+    /// Combines two snapshots as if their sample sets were pooled
+    /// (Chan et al.'s parallel Welford update — exact, not approximate).
+    pub fn merge(self, other: MomentSnapshot) -> MomentSnapshot {
+        if self.count == 0 {
+            return other;
+        }
+        if other.count == 0 {
+            return self;
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        MomentSnapshot {
+            count: self.count + other.count,
+            mean: self.mean + delta * nb / n,
+            m2: self.m2 + other.m2 + delta * delta * na * nb / n,
+        }
+    }
+
+    /// Population variance of the pooled samples (0 with < 2).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Squared coefficient of variation of the pooled samples (0 until
+    /// two samples with positive mean).
+    pub fn scv(&self) -> f64 {
+        if self.count < 2 || self.mean <= 0.0 {
+            0.0
+        } else {
+            self.variance() / (self.mean * self.mean)
+        }
+    }
+}
+
 /// Windowed Welford estimator of the first two **service-time moments** —
 /// the other half of the §2.1 threshold's inputs, measured online.
 ///
@@ -412,6 +608,15 @@ impl MomentEstimator {
             0.0
         } else {
             self.samples.variance() / (m * m)
+        }
+    }
+
+    /// A mergeable [`MomentSnapshot`] of the currently held window.
+    pub fn snapshot(&self) -> MomentSnapshot {
+        MomentSnapshot {
+            count: self.samples.len() as u64,
+            mean: self.samples.mean(),
+            m2: self.samples.m2,
         }
     }
 }
@@ -646,6 +851,82 @@ mod tests {
         assert!((bank.rate(0) - 4.0).abs() < 1e-12);
         bank.reset_all();
         assert!(bank.get(0).is_empty() && bank.get(1).is_empty());
+    }
+
+    #[test]
+    fn moment_snapshots_merge_like_pooled_samples() {
+        // Two disjoint sample sets: merging their snapshots must agree
+        // with one estimator fed the concatenation (windows large enough
+        // that nothing slides out).
+        let xs: Vec<f64> = (0..60).map(|i| 0.2 + ((i * 31) % 47) as f64 * 0.03).collect();
+        let (a_half, b_half) = xs.split_at(23);
+        let mut a = MomentEstimator::new(128);
+        let mut b = MomentEstimator::new(128);
+        let mut all = MomentEstimator::new(128);
+        for &x in a_half {
+            a.observe(x);
+            all.observe(x);
+        }
+        for &x in b_half {
+            b.observe(x);
+            all.observe(x);
+        }
+        let merged = a.snapshot().merge(b.snapshot());
+        assert_eq!(merged.count, 60);
+        assert!((merged.mean - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-9);
+        assert!((merged.scv() - all.scv()).abs() < 1e-9);
+        // EMPTY is the merge identity on both sides.
+        assert_eq!(merged.merge(MomentSnapshot::EMPTY), merged);
+        assert_eq!(MomentSnapshot::EMPTY.merge(merged), merged);
+        // Degenerate snapshots report zeros, not NaNs.
+        assert_eq!(MomentSnapshot::EMPTY.variance(), 0.0);
+        assert_eq!(MomentSnapshot::EMPTY.scv(), 0.0);
+    }
+
+    #[test]
+    fn load_summaries_add_rates_across_peers() {
+        // Two "frontends" each seeing half of a 4/sec stream routed to the
+        // same server: each local estimate is 2/sec, and the peer exchange
+        // must reconstruct the superposed 4/sec.
+        let mut bank_a = EstimatorBank::new(2, 8);
+        let mut bank_b = EstimatorBank::new(2, 8);
+        let mut t = 0.0;
+        for _ in 0..20 {
+            bank_a.observe_arrival(0, t);
+            bank_b.observe_arrival(0, t + 0.25);
+            t += 0.5;
+        }
+        assert!((bank_a.rate(0) - 2.0).abs() < 1e-12);
+        let mut peers = PeerLoads::new(1, 2);
+        // Nothing heard yet: peers contribute zero, like a cold estimator.
+        assert_eq!(peers.peer_rate(0), 0.0);
+        assert!((peers.total_rate(0, bank_a.rate(0)) - 2.0).abs() < 1e-12);
+        peers.apply(0, bank_b.summary());
+        assert!((peers.peer_rate(0) - 2.0).abs() < 1e-12);
+        assert!((peers.total_rate(0, bank_a.rate(0)) - 4.0).abs() < 1e-12);
+        // The never-fed index stays zero through the exchange.
+        assert_eq!(peers.total_rate(1, bank_a.rate(1)), 0.0);
+        // A newer summary replaces the old one instead of accumulating.
+        peers.apply(0, LoadSummary::per_index(vec![1.0, 0.5]));
+        assert!((peers.peer_rate(0) - 1.0).abs() < 1e-12);
+        assert_eq!(peers.peers(), 1);
+        // The single-rate view mirrors RateEstimator::rate.
+        let mut solo = RateEstimator::new(8);
+        for i in 0..10 {
+            solo.observe_arrival(i as f64 * 0.25);
+        }
+        let s = solo.summary();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.rate(0).to_bits(), solo.rate().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn peer_board_rejects_wrong_width() {
+        let mut peers = PeerLoads::new(2, 3);
+        peers.apply(0, LoadSummary::global(1.0));
     }
 
     #[test]

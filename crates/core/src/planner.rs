@@ -18,7 +18,7 @@ use queuesim::analytic::pk::{self, ServiceMoments};
 use queuesim::analytic::two_moment;
 use simcore::stats::Welford;
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// First and second moments of the backend service time, plus what an
 /// extra copy costs the client.
@@ -236,8 +236,12 @@ impl Planner {
 /// Every handle also consults a **process-wide** store on a local miss:
 /// a grid point's threshold is a pure function of its key, so replications
 /// of the same workload (and parallel runner threads) share each other's
-/// bisections instead of re-paying them. The bisection itself runs outside
-/// the lock — two threads racing on a fresh key may both compute it, but
+/// bisections instead of re-paying them. The store is an `RwLock`: the
+/// steady state is all reads, so F sharded frontends (or N runner threads)
+/// resolve warm grid points concurrently instead of serializing behind one
+/// mutex — and each handle's private memo means a warm frontend stops
+/// touching the shared store at all. The bisection itself runs outside
+/// any lock — two threads racing on a fresh key may both compute it, but
 /// they compute the identical value, so results stay bit-reproducible at
 /// any thread count.
 #[derive(Clone, Debug, Default)]
@@ -246,7 +250,9 @@ pub struct ThresholdCache {
 }
 
 /// Process-wide grid-point store backing every [`ThresholdCache`] handle.
-static SHARED_THRESHOLDS: OnceLock<Mutex<HashMap<(i64, i64), f64>>> = OnceLock::new();
+/// Read-mostly: warm lookups take the shared read lock; only the first
+/// resolution of a grid point takes the write lock.
+static SHARED_THRESHOLDS: OnceLock<RwLock<HashMap<(i64, i64), f64>>> = OnceLock::new();
 
 impl ThresholdCache {
     /// An empty cache.
@@ -299,7 +305,7 @@ impl ThresholdCache {
             return t;
         }
         let shared = SHARED_THRESHOLDS.get_or_init(Default::default);
-        if let Some(&t) = shared.lock().expect("threshold store poisoned").get(&key) {
+        if let Some(&t) = shared.read().expect("threshold store poisoned").get(&key) {
             self.map.insert(key, t);
             return t;
         }
@@ -313,7 +319,7 @@ impl ThresholdCache {
         .threshold_load();
         self.map.insert(key, t);
         shared
-            .lock()
+            .write()
             .expect("threshold store poisoned")
             .insert(key, t);
         t

@@ -10,10 +10,15 @@
 //! The queue enforces monotonicity: scheduling an event before the last
 //! popped time is a logic error and panics immediately rather than silently
 //! corrupting causality.
+//!
+//! The backing store is the 4-ary [`Heap4`](crate::heap::Heap4): entry keys
+//! `(time, seq)` are unique, so the pop sequence is identical to the old
+//! `std::collections::BinaryHeap` backing — the swap is purely a constant-
+//! factor win on the push+pop hot path (see `BENCH_engine.json`).
 
+use crate::heap::Heap4;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 struct Entry<E> {
     time: SimTime,
@@ -49,7 +54,7 @@ impl<E> Ord for Entry<E> {
 ///
 /// `E` is the simulator's event type — typically a small enum.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Heap4<Entry<E>>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -65,7 +70,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Heap4::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -75,7 +80,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            heap: Heap4::with_capacity(cap),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,

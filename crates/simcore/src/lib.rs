@@ -66,6 +66,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod heap;
 pub mod rng;
 pub mod runner;
 pub mod shard;

@@ -26,14 +26,22 @@
 //! invariant; `run(1)` uses a plain sequential loop and is the reference
 //! path, and CI byte-diffs `--threads 1/3/8` result trees.
 //!
+//! The `*_keyed` scheduling variants extend the same argument to *shard
+//! placement*: a simulation whose shards host several logical actors can
+//! stamp every entry with the actor's logical origin and a counter the
+//! actor owns, making the merge keys — hence the pop order — a pure
+//! function of the logical simulation rather than of which engine shard
+//! each actor landed on. The sharded storage service uses this to keep its
+//! output byte-identical at any frontend-shard count.
+//!
 //! Worker threads are leased from the process-wide
 //! [`thread budget`](crate::runner::lease_threads), so engine shards
 //! compose with `Runner` task fan-out without oversubscribing.
 
+use crate::heap::Heap4;
 use crate::runner::lease_threads;
 use crate::time::SimTime;
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -91,7 +99,7 @@ struct Wire<E> {
 /// deterministic position among simultaneous local events. Local pushes
 /// and outgoing sends draw from one per-shard sequence counter.
 pub struct ShardQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Heap4<Entry<E>>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -107,7 +115,7 @@ impl<E> ShardQueue<E> {
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(shard: u32, cap: usize) -> Self {
         ShardQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            heap: Heap4::with_capacity(cap),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -168,6 +176,34 @@ impl<E> ShardQueue<E> {
     pub fn push_after(&mut self, delay: SimTime, event: E) {
         let at = self.now + delay;
         self.push(at, event);
+    }
+
+    /// Schedules a local event under an explicit `(origin, seq)` merge key
+    /// instead of this shard's id and counter.
+    ///
+    /// This is the primitive behind *placement-invariant* simulations: a
+    /// shard hosting several logical actors (e.g. frontend lanes) stamps
+    /// each actor's events with the actor's own logical origin and a
+    /// counter the actor maintains, so the merge order — and therefore the
+    /// whole simulation — is identical whether the actors share one engine
+    /// shard or are spread across many. Callers own key uniqueness: a
+    /// simulation must not mix keyed and unkeyed scheduling under
+    /// colliding origin ids.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the shard clock.
+    pub fn push_keyed(&mut self, at: SimTime, origin: u32, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            origin,
+            seq,
+            event,
+        });
     }
 
     /// Claims the next sequence number (shared between local pushes and
@@ -294,6 +330,46 @@ impl<E> ShardCtx<'_, E> {
             to: to as u32,
             time: self.now + delay,
             origin: self.shard,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules a local event at absolute time `at` (≥ `now`) under an
+    /// explicit `(origin, seq)` merge key. See
+    /// [`ShardQueue::push_keyed`] for the placement-invariance contract.
+    pub fn schedule_at_keyed(&mut self, at: SimTime, origin: u32, seq: u64, event: E) {
+        self.queue.push_keyed(at, origin, seq, event);
+    }
+
+    /// Sends `event` to shard `to` under an explicit `(origin, seq)` merge
+    /// key, arriving at `now + delay`.
+    ///
+    /// Together with [`ShardCtx::schedule_at_keyed`] this lets a logical
+    /// actor deliver a message with the *same* key whether the destination
+    /// actor happens to be co-located (keyed local push) or remote (keyed
+    /// wire) — the destination's merge order cannot tell the difference.
+    /// Because co-location is a placement accident, callers must keep
+    /// `delay ≥ lookahead` even for local keyed delivery, or a different
+    /// placement of the same simulation would panic here.
+    ///
+    /// # Panics
+    /// Panics if `delay` is below the engine lookahead or `to` is this
+    /// shard (use [`ShardCtx::schedule_at_keyed`] with the same key).
+    pub fn send_keyed(&mut self, to: usize, delay: SimTime, origin: u32, seq: u64, event: E) {
+        assert!(
+            delay >= self.lookahead,
+            "cross-shard delay {delay} below lookahead {}",
+            self.lookahead
+        );
+        assert!(
+            to as u32 != self.shard,
+            "shard {to} sending to itself; use schedule_at_keyed"
+        );
+        self.outbox.push(Wire {
+            to: to as u32,
+            time: self.now + delay,
+            origin,
             seq,
             event,
         });
@@ -436,6 +512,20 @@ impl<S: ShardLogic> ShardEngine<S> {
     /// before [`ShardEngine::run`].
     pub fn schedule(&mut self, shard: usize, at: SimTime, event: S::Event) {
         self.cells[shard].queue.push(at, event);
+    }
+
+    /// Seeds an initial event on `shard` under an explicit `(origin, seq)`
+    /// merge key (see [`ShardQueue::push_keyed`]). Only valid before
+    /// [`ShardEngine::run`].
+    pub fn schedule_keyed(
+        &mut self,
+        shard: usize,
+        at: SimTime,
+        origin: u32,
+        seq: u64,
+        event: S::Event,
+    ) {
+        self.cells[shard].queue.push_keyed(at, origin, seq, event);
     }
 
     /// Shared access to a shard's state (e.g. for inspection in tests).

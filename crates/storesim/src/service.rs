@@ -198,6 +198,23 @@ pub struct ServiceConfig {
     pub popularity: Option<Arc<DiscreteEmpirical>>,
     /// Replication decision mode.
     pub frontend: Frontend,
+    /// Logical frontend lanes: the adaptive frontend is decomposed into
+    /// this many independent actors, each owning a contiguous `1/lanes`
+    /// slice of the key shards with its own forked RNG substreams and its
+    /// own estimator state, exchanging periodic load summaries. This is a
+    /// *model* parameter — it changes which simulation runs (lanes > 1 is
+    /// a different, decomposed arrival process) — while the engine-shard
+    /// *placement* of the lanes is a pure execution detail that never
+    /// affects output. Only [`crate::sharded::run_sharded`] supports
+    /// lanes > 1; the sequential [`run`] rejects it. Default 1, which is
+    /// byte-identical to the pre-lane frontend.
+    pub frontend_lanes: usize,
+    /// Period of the cross-lane load-summary exchange, seconds. Floored
+    /// at the propagation delay (the engine lookahead — summaries travel
+    /// on cross-shard wires and cannot beat it); `0.0` means "as often as
+    /// the lookahead allows". Ignored when `frontend_lanes == 1` (a lone
+    /// lane has no peers).
+    pub summary_period: f64,
     /// When servers report per-copy service demands to the moment
     /// estimator (only consulted in [`MomentSource::Estimated`] mode).
     pub demand_report: DemandReport,
@@ -242,6 +259,8 @@ impl ServiceConfig {
                 moments: MomentSource::Clairvoyant,
                 load_model: LoadModel::Global,
             },
+            frontend_lanes: 1,
+            summary_period: 0.0,
             demand_report: DemandReport::Completion,
             cancellation: false,
             propagation: 50.0e-6,
@@ -684,6 +703,33 @@ pub(crate) fn validate_config(cfg: &ServiceConfig) {
             "popularity distribution is empty"
         );
     }
+    assert!(cfg.frontend_lanes >= 1, "need at least one frontend lane");
+    assert!(
+        cfg.summary_period >= 0.0 && cfg.summary_period.is_finite(),
+        "summary period must be finite and non-negative"
+    );
+    if cfg.frontend_lanes > 1 {
+        // Lane ids ride in u16 event fields alongside server ids.
+        assert!(cfg.frontend_lanes <= u16::MAX as usize, "too many frontend lanes");
+        assert!(
+            cfg.shards.is_multiple_of(cfg.frontend_lanes),
+            "frontend lanes must divide the shard count evenly \
+             ({} shards across {} lanes)",
+            cfg.shards,
+            cfg.frontend_lanes
+        );
+        // Each lane draws keys uniformly from its own slice; conditional
+        // per-slice sampling of an arbitrary popularity mix is not
+        // implemented.
+        assert!(
+            cfg.popularity.is_none(),
+            "skewed popularity requires a single frontend lane"
+        );
+        assert!(
+            cfg.frontend_lanes <= cfg.warmup + cfg.requests,
+            "more frontend lanes than requests"
+        );
+    }
 }
 
 /// Runs the service simulation.
@@ -703,6 +749,11 @@ pub(crate) fn validate_config(cfg: &ServiceConfig) {
 /// makes the combination legal).
 pub fn run(cfg: &ServiceConfig) -> ServiceResult {
     validate_config(cfg);
+    assert!(
+        cfg.frontend_lanes == 1,
+        "the sequential runner supports a single frontend lane; \
+         use run_sharded for frontend_lanes > 1"
+    );
 
     let mean_service = cfg.service.mean();
     assert!(mean_service.is_finite() && mean_service > 0.0);

@@ -1,7 +1,7 @@
 //! The [`service`](crate::service) simulation ported onto the sharded
-//! parallel engine ([`simcore::shard`]) — one engine shard per server
-//! group plus a frontend shard, so a single long ramp can use several
-//! cores.
+//! parallel engine ([`simcore::shard`]) — engine shards for the server
+//! groups *and* for the frontend, so a single long ramp can use several
+//! cores on both sides of the client↔server boundary.
 //!
 //! The partition follows the physical message flow: `Arrive` and
 //! `HedgeFire` are frontend-local, `FifoDepart`/`PsDepart` are
@@ -11,13 +11,41 @@
 //! [`propagation`](ServiceConfig::propagation) delay, which is therefore
 //! the engine's lookahead window.
 //!
+//! ## Frontend lanes vs frontend shards
+//!
+//! The frontend itself is decomposed into
+//! [`frontend_lanes`](ServiceConfig::frontend_lanes) logical **lanes**:
+//! lane ℓ owns the requests with `req % lanes == ℓ`, a contiguous
+//! `1/lanes` slice of the key shards, its own forked RNG substreams
+//! (streams `3ℓ+1..=3ℓ+3`, so one lane draws exactly the streams the
+//! pre-lane frontend drew), and its own estimator state
+//! ([`RateEstimator`]/[`EstimatorBank`] slice plus [`MomentEstimator`]).
+//! Lanes see only their own arrivals, so they periodically exchange
+//! [`LoadSummary`] messages (floored at the lookahead) and combine peer
+//! rates through [`PeerLoads`] — rates are additive, so the combined
+//! utilization estimate converges to the whole cluster's without any
+//! shared mutable state.
+//!
+//! The lane count is a **model** parameter: `lanes > 1` runs a different
+//! (decomposed) arrival process, and `lanes = 1` is byte-identical to the
+//! pre-lane frontend. The number of **frontend shards** F the lanes are
+//! placed on is, by contrast, pure execution: every lane event is
+//! scheduled through the engine's `*_keyed` API under the lane's logical
+//! origin `ℓ` and the lane's own sequence counter (server groups likewise
+//! use logical origin `lanes + g`), so the `(time, origin, seq)` merge
+//! keys — and therefore every pop order and every RNG draw — are
+//! identical whether the lanes share one engine shard or occupy F of
+//! them. Output is **bit-identical at any (worker, frontend-shard)
+//! configuration**; only wall-clock changes with F, which is what the
+//! `fig-service-frontier` experiment and the engine bench measure.
+//!
 //! Two deliberate deltas from the sequential [`service::run`] keep every
 //! shard deterministic in isolation (all randomness lives on the
-//! frontend):
+//! frontend lanes):
 //!
-//! * a copy's service demand is sampled from `svc_rng` at **dispatch** on
-//!   the frontend and carried in the `CopyArrive` message, instead of at
-//!   server arrival — the same per-copy law, drawn in frontend dispatch
+//! * a copy's service demand is sampled from the lane's `svc_rng` at
+//!   **dispatch** and carried in the `CopyArrive` message, instead of at
+//!   server arrival — the same per-copy law, drawn in lane dispatch
 //!   order;
 //! * cancellations are addressed **per request** (`Cancel { req, server }`
 //!   purges that request's copies at that server) instead of via the
@@ -27,10 +55,8 @@
 //!
 //! Consequently the sharded run is **not** byte-identical to
 //! [`service::run`] on the same config (distributions agree statistically;
-//! a test pins that), but it **is** byte-identical to itself at any thread
-//! count — the workspace invariant — because the engine's
-//! `(time, shard, sequence)` merge rule fixes every pop order and all RNG
-//! draws happen on the frontend shard in its deterministic event order.
+//! a test pins that), but it **is** byte-identical to itself at any
+//! thread and placement count — the workspace invariant.
 //!
 //! Per-bucket `peak_utilization` is not computed here (it needs a global
 //! per-server busy snapshot at bucket boundaries, which is exactly the
@@ -44,7 +70,9 @@ use crate::service::{
     Frontend, LoadModel, MomentSource, PsJob, PsServer, RampBucket, ServiceConfig, ServiceResult,
     switch_off_load,
 };
-use redundancy::estimator::{EstimatorBank, MomentEstimator, RateEstimator};
+use redundancy::estimator::{
+    EstimatorBank, LoadSummary, MomentEstimator, MomentSnapshot, PeerLoads, RateEstimator,
+};
 use redundancy::planner::{Planner, ThresholdCache};
 use redundancy::policy::Policy;
 use simcore::dist::Distribution;
@@ -53,20 +81,22 @@ use simcore::shard::{EngineStats, ShardCtx, ShardEngine, ShardLogic};
 use simcore::stats::SampleSet;
 use simcore::time::SimTime;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Stored-replica ceiling of the sharded port: targets live in a fixed
 /// array on the per-request slot (no per-request allocation on the hot
 /// path). The paper's placements use 2–3.
 pub const MAX_STORED: usize = 4;
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 enum SEv {
-    /// A request enters the front-end (frontend shard).
+    /// A request enters its owning frontend lane (frontend shard).
     Arrive { req: u32 },
     /// A hedged request's delay elapsed (frontend shard).
     HedgeFire { req: u32 },
-    /// A dispatched copy reaches its server, demand pre-sampled at the
-    /// frontend (cross-shard, one propagation delay).
+    /// A dispatched copy reaches its server, demand pre-sampled on the
+    /// lane (cross-shard, one propagation delay).
     CopyArrive { req: u32, server: u16, demand: f64 },
     /// The in-service FIFO copy at `server` completes (server shard).
     FifoDepart { server: u16 },
@@ -78,9 +108,16 @@ enum SEv {
     Response { req: u32, server: u16, demand: f64 },
     /// The front-end cancels `req`'s copy at `server` (cross-shard).
     Cancel { req: u32, server: u16 },
+    /// A lane's periodic load-summary broadcast timer (lane-local).
+    SummaryTick { lane: u16 },
+    /// Lane `from`'s load summary reaching peer lane `to`, one lookahead
+    /// after it was snapshotted. Delivered under the sender's merge key
+    /// whether the peer is co-located or remote, so placement cannot
+    /// reorder it.
+    Summary { from: u16, to: u16, rates: LoadSummary },
 }
 
-/// Per-request bookkeeping on the frontend shard.
+/// Per-request bookkeeping on the owning lane.
 struct ReqSlot {
     arrival: f64,
     offered: f64,
@@ -91,24 +128,45 @@ struct ReqSlot {
     done: bool,
 }
 
-/// The frontend shard: arrival process, redundancy stack, per-request
-/// state, and every measurement that keys off request identity.
-struct Front {
+/// Immutable tables shared by every lane.
+struct Statics {
     cfg: ServiceConfig,
     mean_service: f64,
     total: usize,
     span: f64,
-    /// Server id → engine shard id (1 + its group).
-    group_of: Vec<u16>,
+    lanes: usize,
+    /// Server id → engine shard id (`frontends + its group`).
+    group_shard_of: Vec<u16>,
+    /// Lane id → engine shard id (`lane % frontends`).
+    lane_shard: Vec<u16>,
     /// Flat `[shard][replica]` stored-placement table (stride
     /// `stored_replicas`), precomputed from the ring.
     stored_tab: Vec<u16>,
     hot_shard: Vec<bool>,
+    /// Resolved summary-exchange period: `max(summary_period, lookahead)`.
+    summary_period: f64,
+}
+
+/// One frontend lane: a slice of the arrival process, the redundancy
+/// stack for its requests, and every measurement keyed off its request
+/// identities. All scheduling goes through the keyed engine API under
+/// this lane's logical origin, so the lane's trajectory is independent
+/// of which engine shard hosts it.
+struct Lane {
+    id: u32,
+    seq: u64,
+    st: Arc<Statics>,
+    /// First key shard of this lane's slice.
+    slice_lo: usize,
+    slice_len: usize,
+    /// Requests this lane owns (`req % lanes == id`).
+    owned: usize,
     arrival_rng: Rng,
     place_rng: Rng,
     svc_rng: Rng,
     estimator: Option<RateEstimator>,
     bank: Option<EstimatorBank>,
+    peers: PeerLoads,
     moment_est: Option<MomentEstimator>,
     min_samples: usize,
     recalibrate: u64,
@@ -118,6 +176,7 @@ struct Front {
     live_threshold: f64,
     observed: u64,
     recalibrations: u64,
+    /// Indexed by the lane-local request index `req / lanes`.
     reqs: Vec<ReqSlot>,
     response: SampleSet,
     bucket_samples: Vec<SampleSet>,
@@ -127,21 +186,35 @@ struct Front {
     bucket_hot_k2: Vec<usize>,
     copies_issued: u64,
     completed: usize,
+    /// All responses marked done, warm-up included — drives the summary
+    /// tick shutdown so the engine can drain.
+    finished: usize,
+    summaries_sent: u64,
 }
 
-impl Front {
+impl Lane {
+    #[inline]
+    fn take_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
     fn bucket_of(&self, offered: f64) -> usize {
-        if self.span.abs() < f64::EPSILON {
+        if self.st.span.abs() < f64::EPSILON {
             0
         } else {
-            (((offered - self.cfg.load_start) / self.span) * self.cfg.buckets as f64)
+            (((offered - self.st.cfg.load_start) / self.st.span) * self.st.cfg.buckets as f64)
                 .floor()
-                .clamp(0.0, (self.cfg.buckets - 1) as f64) as usize
+                .clamp(0.0, (self.st.cfg.buckets - 1) as f64) as usize
         }
     }
 
+    /// This lane's arrival rate at offered load `offered`: its `1/lanes`
+    /// share of the cluster rate (slices are equal-mass by the
+    /// lanes-divide-shards validation).
     fn lambda_of(&self, offered: f64) -> f64 {
-        offered * self.cfg.servers as f64 / self.mean_service
+        offered * self.st.cfg.servers as f64 / self.st.mean_service / self.st.lanes as f64
     }
 
     /// Ingests one per-copy service duration (see
@@ -153,7 +226,7 @@ impl Front {
             if me.len() >= self.min_samples && self.observed.is_multiple_of(self.recalibrate) {
                 self.live_threshold =
                     self.threshold_cache
-                        .threshold(me.mean(), me.scv(), self.cfg.client_overhead);
+                        .threshold(me.mean(), me.scv(), self.st.cfg.client_overhead);
                 self.live_planner = self.planner.recalibrated(me.mean(), me.scv());
                 self.recalibrations += 1;
             }
@@ -161,19 +234,25 @@ impl Front {
     }
 
     /// Dispatches copies `from..to` of `req`'s target list: demand sampled
-    /// here (frontend RNG), `CopyArrive` sent to the owning server shard.
+    /// here (lane RNG), `CopyArrive` sent to the owning server shard under
+    /// this lane's merge key.
     fn dispatch(&mut self, t: f64, req: u32, from: usize, to: usize, ctx: &mut ShardCtx<'_, SEv>) {
-        let prop = SimTime::from_secs(self.cfg.propagation);
+        let prop = SimTime::from_secs(self.st.cfg.propagation);
+        let slot = (req as usize) / self.st.lanes;
         for idx in from..to {
-            let server = self.reqs[req as usize].targets[idx];
-            let demand = self.cfg.service.sample(&mut self.svc_rng);
-            if self.cfg.demand_report == DemandReport::Dispatch {
+            let server = self.reqs[slot].targets[idx];
+            let demand = self.st.cfg.service.sample(&mut self.svc_rng);
+            if self.st.cfg.demand_report == DemandReport::Dispatch {
                 self.observe_service(demand);
             }
             self.copies_issued += 1;
-            ctx.send(
-                self.group_of[server as usize] as usize,
+            let dest = self.st.group_shard_of[server as usize] as usize;
+            let (origin, seq) = (self.id, self.take_seq());
+            ctx.send_keyed(
+                dest,
                 prop,
+                origin,
+                seq,
                 SEv::CopyArrive {
                     req,
                     server,
@@ -183,30 +262,33 @@ impl Front {
         }
         // A request counts as duplicated when a second copy is *actually
         // dispatched* — for hedged policies only when the hedge fires.
-        if from < 2 && to >= 2 && (req as usize) >= self.cfg.warmup {
-            let b = self.bucket_of(self.reqs[req as usize].offered);
+        if from < 2 && to >= 2 && (req as usize) >= self.st.cfg.warmup {
+            let b = self.bucket_of(self.reqs[slot].offered);
             self.bucket_k2[b] += 1;
-            if self.reqs[req as usize].hot {
+            if self.reqs[slot].hot {
                 self.bucket_hot_k2[b] += 1;
             }
         }
         let _ = t;
-        self.reqs[req as usize].sent = to as u8;
+        self.reqs[slot].sent = to as u8;
     }
 
     fn arrive(&mut self, t: f64, req: u32, ctx: &mut ShardCtx<'_, SEv>) {
         let i = req as usize;
-        let offered = self.cfg.offered(i);
-        let k_stored = self.cfg.stored_replicas;
+        let offered = self.st.cfg.offered(i);
+        let k_stored = self.st.cfg.stored_replicas;
 
-        let shard = match &self.cfg.popularity {
-            None => self.place_rng.index(self.cfg.shards),
-            Some(d) => shard_of(d.sample(&mut self.place_rng), self.cfg.shards),
+        let shard = match &self.st.cfg.popularity {
+            None => self.slice_lo + self.place_rng.index(self.slice_len),
+            // Validation rejects popularity with lanes > 1, so this arm
+            // only runs on the single full-range lane.
+            Some(d) => shard_of(d.sample(&mut self.place_rng), self.st.cfg.shards),
         };
-        let hot = self.hot_shard[shard];
+        let hot = self.st.hot_shard[shard];
 
-        // Replication decision — same stack as the sequential path.
-        let (copies, hedge_after) = match &self.cfg.frontend {
+        // Replication decision — same stack as the sequential path, with
+        // peer-reported rates folded into the utilization estimates.
+        let (copies, hedge_after) = match &self.st.cfg.frontend {
             Frontend::Fixed(policy) => match *policy {
                 Policy::Single => (1usize, None),
                 Policy::Always { copies } => (copies, None),
@@ -215,16 +297,17 @@ impl Front {
             Frontend::Adaptive { load_model, .. } => {
                 let live_mean = match self.moment_est.as_ref() {
                     Some(me) if me.len() >= self.min_samples => me.mean(),
-                    _ => self.mean_service,
+                    _ => self.st.mean_service,
                 };
                 let replicate = match load_model {
                     LoadModel::Global => {
                         let est = self.estimator.as_mut().expect("adaptive estimator");
                         est.observe_arrival(t);
                         let rho = if est.is_warm() {
-                            est.utilization(live_mean, self.cfg.servers)
+                            self.peers.total_rate(0, est.rate()) * live_mean
+                                / self.st.cfg.servers as f64
                         } else {
-                            self.cfg.load_start
+                            self.st.cfg.load_start
                         };
                         rho < self.live_threshold
                     }
@@ -232,12 +315,13 @@ impl Front {
                         let bank = self.bank.as_mut().expect("per-server bank");
                         let mut rho_max = 0.0f64;
                         for idx in 0..k_stored {
-                            let s = self.stored_tab[shard * k_stored + idx] as usize;
+                            let s = self.st.stored_tab[shard * k_stored + idx] as usize;
                             bank.observe_arrival(s, t);
                             let rho = if bank.get(s).is_warm() {
-                                bank.utilization(s, live_mean, k_stored)
+                                self.peers.total_rate(s, bank.rate(s)) * live_mean
+                                    / k_stored as f64
                             } else {
-                                self.cfg.load_start
+                                self.st.cfg.load_start
                             };
                             rho_max = rho_max.max(rho);
                         }
@@ -253,7 +337,7 @@ impl Front {
         };
 
         let k = copies.min(k_stored);
-        let stored = &self.stored_tab[shard * k_stored..shard * k_stored + k_stored];
+        let stored = &self.st.stored_tab[shard * k_stored..shard * k_stored + k_stored];
         let mut targets = [0u16; MAX_STORED];
         if k == k_stored && hedge_after.is_none() {
             targets[..k].copy_from_slice(stored);
@@ -279,9 +363,9 @@ impl Front {
             hot,
             done: false,
         });
-        debug_assert_eq!(self.reqs.len() - 1, i);
+        debug_assert_eq!(self.reqs.len() - 1, i / self.st.lanes);
 
-        if i >= self.cfg.warmup {
+        if i >= self.st.cfg.warmup {
             let b = self.bucket_of(offered);
             self.bucket_reqs[b] += 1;
             if hot {
@@ -292,17 +376,31 @@ impl Front {
         match hedge_after {
             Some(after) => {
                 self.dispatch(t, req, 0, 1, ctx);
-                ctx.schedule_at(SimTime::from_secs(t + after), SEv::HedgeFire { req });
+                let (origin, seq) = (self.id, self.take_seq());
+                ctx.schedule_at_keyed(
+                    SimTime::from_secs(t + after),
+                    origin,
+                    seq,
+                    SEv::HedgeFire { req },
+                );
             }
             None => {
                 self.dispatch(t, req, 0, k, ctx);
             }
         }
 
-        if i + 1 < self.total {
-            let lambda = self.lambda_of(self.cfg.offered(i + 1));
+        if i + self.st.lanes < self.st.total {
+            let lambda = self.lambda_of(self.st.cfg.offered(i + self.st.lanes));
             let gap = self.arrival_rng.exponential(lambda);
-            ctx.schedule_after(SimTime::from_secs(gap), SEv::Arrive { req: req + 1 });
+            let (origin, seq) = (self.id, self.take_seq());
+            ctx.schedule_at_keyed(
+                ctx.now() + SimTime::from_secs(gap),
+                origin,
+                seq,
+                SEv::Arrive {
+                    req: req + self.st.lanes as u32,
+                },
+            );
         }
     }
 
@@ -311,46 +409,97 @@ impl Front {
         // client (the server's report rides the response), duplicates
         // included — the same per-copy sample as the sequential path, one
         // propagation later.
-        if self.cfg.demand_report == DemandReport::Completion {
+        if self.st.cfg.demand_report == DemandReport::Completion {
             self.observe_service(demand);
         }
         let i = req as usize;
-        if self.reqs[i].done {
+        let slot = i / self.st.lanes;
+        if self.reqs[slot].done {
             return;
         }
-        self.reqs[i].done = true;
-        let state = &self.reqs[i];
-        let extra = (state.sent as f64 - 1.0).max(0.0) * self.cfg.client_overhead;
+        self.reqs[slot].done = true;
+        self.finished += 1;
+        let state = &self.reqs[slot];
+        let extra = (state.sent as f64 - 1.0).max(0.0) * self.st.cfg.client_overhead;
         let rt = (t - state.arrival) + extra;
         let offered = state.offered;
-        if i >= self.cfg.warmup {
+        if i >= self.st.cfg.warmup {
             let b = self.bucket_of(offered);
             self.response.push(rt);
             self.bucket_samples[b].push(rt);
             self.completed += 1;
         }
-        if self.cfg.cancellation && self.reqs[i].sent > 1 {
-            let prop = SimTime::from_secs(self.cfg.propagation);
-            for idx in 0..self.reqs[i].sent as usize {
-                let other = self.reqs[i].targets[idx];
+        if self.st.cfg.cancellation && self.reqs[slot].sent > 1 {
+            let prop = SimTime::from_secs(self.st.cfg.propagation);
+            for idx in 0..self.reqs[slot].sent as usize {
+                let other = self.reqs[slot].targets[idx];
                 if other != server {
-                    ctx.send(
-                        self.group_of[other as usize] as usize,
-                        prop,
-                        SEv::Cancel { req, server: other },
-                    );
+                    let dest = self.st.group_shard_of[other as usize] as usize;
+                    let (origin, seq) = (self.id, self.take_seq());
+                    ctx.send_keyed(dest, prop, origin, seq, SEv::Cancel { req, server: other });
                 }
             }
+        }
+    }
+
+    /// Broadcasts this lane's current rate summary to every peer lane
+    /// (one lookahead of delay; keyed-local when a peer shares this
+    /// engine shard) and re-arms the timer while the lane still has
+    /// requests in flight.
+    fn summary_tick(&mut self, ctx: &mut ShardCtx<'_, SEv>) {
+        let rates = match (&self.estimator, &self.bank) {
+            (Some(est), _) => est.summary(),
+            (_, Some(bank)) => bank.summary(),
+            _ => unreachable!("summary tick on a lane without estimators"),
+        };
+        let delay = SimTime::from_secs(self.st.cfg.propagation);
+        let here = ctx.shard();
+        for peer in 0..self.st.lanes {
+            if peer == self.id as usize {
+                continue;
+            }
+            let ev = SEv::Summary {
+                from: self.id as u16,
+                to: peer as u16,
+                rates: rates.clone(),
+            };
+            let dest = self.st.lane_shard[peer] as usize;
+            let (origin, seq) = (self.id, self.take_seq());
+            if dest == here {
+                ctx.schedule_at_keyed(ctx.now() + delay, origin, seq, ev);
+            } else {
+                ctx.send_keyed(dest, delay, origin, seq, ev);
+            }
+            self.summaries_sent += 1;
+        }
+        if self.finished < self.owned {
+            let (origin, seq) = (self.id, self.take_seq());
+            ctx.schedule_at_keyed(
+                ctx.now() + SimTime::from_secs(self.st.summary_period),
+                origin,
+                seq,
+                SEv::SummaryTick {
+                    lane: self.id as u16,
+                },
+            );
         }
     }
 }
 
 /// A server-group shard: a contiguous block of servers with their queues.
 /// No RNG here — demands arrive pre-sampled — so the group's trajectory is
-/// a pure function of its message stream.
+/// a pure function of its message stream. All scheduling goes through the
+/// keyed API under the group's logical origin (`lanes + group`), which is
+/// independent of the frontend placement.
 struct Group {
     /// First global server id in this group.
     lo: usize,
+    /// Logical merge-key origin: `lanes + group index`.
+    origin: u32,
+    seq: u64,
+    lanes: u32,
+    /// Lane id → engine shard id, for routing responses to the owner.
+    lane_shard: Vec<u16>,
     discipline: Discipline,
     propagation: f64,
     fifo: Vec<FifoServer>,
@@ -359,13 +508,42 @@ struct Group {
 }
 
 impl Group {
+    #[inline]
+    fn take_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Sends a completion back to the lane owning `req`.
+    fn respond(&mut self, req: u32, server: u16, demand: f64, ctx: &mut ShardCtx<'_, SEv>) {
+        let lane = (req % self.lanes) as usize;
+        let dest = self.lane_shard[lane] as usize;
+        let (origin, seq) = (self.origin, self.take_seq());
+        ctx.send_keyed(
+            dest,
+            SimTime::from_secs(self.propagation),
+            origin,
+            seq,
+            SEv::Response {
+                req,
+                server,
+                demand,
+            },
+        );
+    }
+
     fn fifo_start_next(&mut self, s: usize, t: f64, ctx: &mut ShardCtx<'_, SEv>) {
+        let (origin, seq) = (self.origin, self.seq);
         let srv = &mut self.fifo[s];
         if let Some((req, svc)) = srv.queue.pop_front() {
             srv.in_service = Some((req, svc));
             srv.busy += svc;
-            ctx.schedule_at(
+            self.seq += 1;
+            ctx.schedule_at_keyed(
                 SimTime::from_secs(t + svc),
+                origin,
+                seq,
                 SEv::FifoDepart {
                     server: (self.lo + s) as u16,
                 },
@@ -379,11 +557,15 @@ impl Group {
         let srv = &mut self.ps[s];
         srv.epoch = srv.epoch.wrapping_add(1);
         if let Some(at) = srv.next_departure(t) {
-            ctx.schedule_at(
+            let epoch = srv.epoch;
+            let (origin, seq) = (self.origin, self.take_seq());
+            ctx.schedule_at_keyed(
                 SimTime::from_secs(at),
+                origin,
+                seq,
                 SEv::PsDepart {
                     server: (self.lo + s) as u16,
-                    epoch: srv.epoch,
+                    epoch,
                 },
             );
         }
@@ -418,15 +600,7 @@ impl Group {
             .in_service
             .take()
             .expect("depart with idle server");
-        ctx.send(
-            0,
-            SimTime::from_secs(self.propagation),
-            SEv::Response {
-                req,
-                server,
-                demand: svc,
-            },
-        );
+        self.respond(req, server, svc, ctx);
         self.fifo_start_next(s, t, ctx);
     }
 
@@ -446,15 +620,7 @@ impl Group {
             return;
         };
         let job = self.ps[s].jobs.remove(idx);
-        ctx.send(
-            0,
-            SimTime::from_secs(self.propagation),
-            SEv::Response {
-                req: job.req,
-                server,
-                demand: job.size,
-            },
-        );
+        self.respond(job.req, server, job.size, ctx);
         self.ps_reschedule(s, t, ctx);
     }
 
@@ -491,8 +657,31 @@ impl Group {
     }
 }
 
+/// A frontend engine shard hosting one or more lanes. With F frontend
+/// shards, shard f hosts lanes `{f, f+F, f+2F, …}` (local index
+/// `lane / F`) — but since all lane scheduling is keyed by lane, the
+/// grouping is invisible to the simulation.
+struct FrontShard {
+    lanes: Vec<Lane>,
+    lane_count: usize,
+    frontends: usize,
+}
+
+impl FrontShard {
+    #[inline]
+    fn lane_for_req(&mut self, req: u32) -> &mut Lane {
+        let lane = req as usize % self.lane_count;
+        &mut self.lanes[lane / self.frontends]
+    }
+
+    #[inline]
+    fn lane_by_id(&mut self, lane: usize) -> &mut Lane {
+        &mut self.lanes[lane / self.frontends]
+    }
+}
+
 enum Node {
-    Front(Box<Front>),
+    Front(Box<FrontShard>),
     Group(Box<Group>),
 }
 
@@ -502,21 +691,29 @@ impl ShardLogic for Node {
     fn handle(&mut self, now: SimTime, ev: SEv, ctx: &mut ShardCtx<'_, SEv>) {
         let t = now.as_secs();
         match (self, ev) {
-            (Node::Front(f), SEv::Arrive { req }) => f.arrive(t, req, ctx),
+            (Node::Front(f), SEv::Arrive { req }) => f.lane_for_req(req).arrive(t, req, ctx),
             (Node::Front(f), SEv::HedgeFire { req }) => {
-                if !f.reqs[req as usize].done {
+                let lane = f.lane_for_req(req);
+                let slot = (req as usize) / lane.st.lanes;
+                if !lane.reqs[slot].done {
                     let (from, to) = (
-                        f.reqs[req as usize].sent as usize,
-                        f.reqs[req as usize].tlen as usize,
+                        lane.reqs[slot].sent as usize,
+                        lane.reqs[slot].tlen as usize,
                     );
-                    f.dispatch(t, req, from, to, ctx);
+                    lane.dispatch(t, req, from, to, ctx);
                 }
             }
             (Node::Front(f), SEv::Response {
                 req,
                 server,
                 demand,
-            }) => f.response(t, req, server, demand, ctx),
+            }) => f.lane_for_req(req).response(t, req, server, demand, ctx),
+            (Node::Front(f), SEv::SummaryTick { lane }) => {
+                f.lane_by_id(lane as usize).summary_tick(ctx)
+            }
+            (Node::Front(f), SEv::Summary { from, to, rates }) => {
+                f.lane_by_id(to as usize).peers.apply(from as usize, rates)
+            }
             (Node::Group(g), SEv::CopyArrive {
                 req,
                 server,
@@ -539,22 +736,75 @@ pub struct ShardedOutcome {
     /// (`peak_utilization` is NaN — see the module docs).
     pub result: ServiceResult,
     /// Events, rounds, worker threads, and drain time of the engine run.
-    /// `events` and `rounds` are deterministic and thread-count-invariant.
+    /// `events` and `rounds` are deterministic and invariant to both the
+    /// thread count and the frontend placement.
     pub engine: EngineStats,
-    /// Server groups used (engine shards minus the frontend).
+    /// Server groups used (engine shards minus the frontends).
     pub groups: usize,
+    /// Frontend engine shards the lanes were placed on.
+    pub frontends: usize,
+    /// Cross-lane load summaries exchanged (0 when `frontend_lanes == 1`).
+    pub summaries: u64,
+}
+
+/// Process-wide default frontend placement consulted by [`run_sharded`]:
+/// `0` (the default) places each lane on its own frontend shard; any
+/// other value caps the frontend shards at that count. Because placement
+/// never affects output, this knob only changes wall-clock — the CI
+/// byte-diff matrix sets it to prove exactly that.
+static DEFAULT_FRONTEND_SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default frontend-shard cap used by
+/// [`run_sharded`] (`0` = one shard per lane). Mirrors
+/// [`simcore::runner::set_global_threads`] in spirit: a harness-level
+/// execution knob, not a model parameter.
+pub fn set_default_frontend_shards(n: usize) {
+    DEFAULT_FRONTEND_SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The current process-wide default frontend-shard cap (`0` = auto).
+pub fn default_frontend_shards() -> usize {
+    DEFAULT_FRONTEND_SHARDS.load(Ordering::Relaxed)
 }
 
 /// Runs the service simulation on the sharded engine with `groups` server
-/// groups (plus the frontend shard) and up to `threads` worker threads
+/// groups plus [`frontend_lanes`](ServiceConfig::frontend_lanes) lanes
+/// placed per the process-wide default (see
+/// [`set_default_frontend_shards`]), using up to `threads` worker threads
 /// (leased from the process-wide budget; 1 = the sequential reference
-/// path). Output is bit-identical for every `threads` value.
+/// path). Output is bit-identical for every `threads` value and every
+/// frontend placement.
 ///
 /// # Panics
 /// Panics on everything [`service::run`] rejects, plus: non-positive
 /// propagation (it is the lookahead), `groups` outside `[1, servers]`, or
 /// more than [`MAX_STORED`] stored replicas.
 pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> ShardedOutcome {
+    let cap = default_frontend_shards();
+    let frontends = if cap == 0 {
+        cfg.frontend_lanes
+    } else {
+        cap.min(cfg.frontend_lanes)
+    };
+    run_sharded_placed(cfg, groups, threads, frontends)
+}
+
+/// Like [`run_sharded`] but with an explicit frontend placement: the
+/// lanes are dealt round-robin onto `frontends` engine shards
+/// (`1 ≤ frontends ≤ frontend_lanes`). The placement is pure execution —
+/// output is bit-identical at every legal value; the
+/// `fig-service-frontier` experiment asserts exactly that while
+/// measuring the wall-clock difference.
+///
+/// # Panics
+/// Panics like [`run_sharded`], or if `frontends` is outside
+/// `[1, frontend_lanes]`.
+pub fn run_sharded_placed(
+    cfg: &ServiceConfig,
+    groups: usize,
+    threads: usize,
+    frontends: usize,
+) -> ShardedOutcome {
     validate_config(cfg);
     assert!(
         cfg.propagation > 0.0,
@@ -568,16 +818,16 @@ pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> Sharde
         cfg.stored_replicas <= MAX_STORED,
         "sharded port stores at most {MAX_STORED} replicas"
     );
+    let lanes = cfg.frontend_lanes;
+    assert!(
+        frontends >= 1 && frontends <= lanes,
+        "frontend shards must be in [1, frontend_lanes]: {frontends} vs {lanes}"
+    );
 
     let mean_service = cfg.service.mean();
     assert!(mean_service.is_finite() && mean_service > 0.0);
     let planner = cfg.planner();
     let threshold = planner.threshold_load();
-
-    let mut root = Rng::seed_from(cfg.seed);
-    let mut arrival_rng = root.fork(1);
-    let place_rng = root.fork(2);
-    let svc_rng = root.fork(3);
 
     // Placement is precomputed into a flat table: the hot path then never
     // touches the ring (HashRing::replicas allocates per call).
@@ -594,80 +844,171 @@ pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> Sharde
         .map(|sh| stored_tab[sh * k_stored..(sh + 1) * k_stored].contains(&hot_server))
         .collect();
 
-    // Group g owns the contiguous server block [bounds[g], bounds[g+1]).
+    // Group g owns the contiguous server block [bounds[g], bounds[g+1])
+    // on engine shard `frontends + g`.
     let bounds: Vec<usize> = (0..=groups).map(|g| g * cfg.servers / groups).collect();
-    let mut group_of = vec![0u16; cfg.servers];
+    let mut group_shard_of = vec![0u16; cfg.servers];
     for g in 0..groups {
-        for s in group_of.iter_mut().take(bounds[g + 1]).skip(bounds[g]) {
-            *s = (g + 1) as u16;
+        for s in group_shard_of
+            .iter_mut()
+            .take(bounds[g + 1])
+            .skip(bounds[g])
+        {
+            *s = (frontends + g) as u16;
         }
     }
-
-    let (estimator, bank) = match &cfg.frontend {
-        Frontend::Adaptive {
-            window, load_model, ..
-        } => match load_model {
-            LoadModel::Global => (Some(RateEstimator::new(*window)), None),
-            LoadModel::PerServer => (None, Some(EstimatorBank::new(cfg.servers, *window))),
-        },
-        Frontend::Fixed(_) => (None, None),
-    };
-    let (moment_est, min_samples, recalibrate) = match &cfg.frontend {
-        Frontend::Adaptive {
-            moments:
-                MomentSource::Estimated {
-                    window,
-                    min_samples,
-                    recalibrate,
-                },
-            ..
-        } => (
-            Some(MomentEstimator::new(*window)),
-            *min_samples,
-            *recalibrate as u64,
-        ),
-        _ => (None, 0, 1),
-    };
+    let lane_shard: Vec<u16> = (0..lanes).map(|l| (l % frontends) as u16).collect();
 
     let total = cfg.warmup + cfg.requests;
-    let first_gap =
-        arrival_rng.exponential(cfg.offered(0) * cfg.servers as f64 / mean_service);
-
-    let front = Front {
+    let statics = Arc::new(Statics {
         mean_service,
         total,
         span: cfg.load_end - cfg.load_start,
-        group_of,
+        lanes,
+        group_shard_of,
+        lane_shard: lane_shard.clone(),
         stored_tab,
         hot_shard,
-        arrival_rng,
-        place_rng,
-        svc_rng,
-        estimator,
-        bank,
-        moment_est,
-        min_samples,
-        recalibrate,
-        threshold_cache: ThresholdCache::new(),
-        planner,
-        live_planner: planner,
-        live_threshold: threshold,
-        observed: 0,
-        recalibrations: 0,
-        reqs: Vec::with_capacity(total),
-        response: SampleSet::with_capacity(cfg.requests),
-        bucket_samples: (0..cfg.buckets).map(|_| SampleSet::new()).collect(),
-        bucket_reqs: vec![0; cfg.buckets],
-        bucket_k2: vec![0; cfg.buckets],
-        bucket_hot: vec![0; cfg.buckets],
-        bucket_hot_k2: vec![0; cfg.buckets],
-        copies_issued: 0,
-        completed: 0,
+        summary_period: cfg.summary_period.max(cfg.propagation),
         cfg: cfg.clone(),
-    };
+    });
 
-    let mut nodes = Vec::with_capacity(groups + 1);
-    nodes.push(Node::Front(Box::new(front)));
+    // Lanes fork their RNG substreams in lane order from one root, so
+    // lane 0 of a single-lane config draws exactly the streams the
+    // pre-lane frontend drew (1, 2, 3).
+    let mut root = Rng::seed_from(cfg.seed);
+    let slice_len = cfg.shards / lanes;
+    let adaptive = matches!(cfg.frontend, Frontend::Adaptive { .. });
+    let mut lanes_vec: Vec<Lane> = Vec::with_capacity(lanes);
+    // (shard, at, origin, seq, event) seeds applied once the engine exists.
+    let mut seeds: Vec<(usize, SimTime, u32, u64, SEv)> = Vec::new();
+    for l in 0..lanes {
+        let arrival_rng = root.fork((3 * l + 1) as u64);
+        let place_rng = root.fork((3 * l + 2) as u64);
+        let svc_rng = root.fork((3 * l + 3) as u64);
+
+        // A lane sees a `1/lanes` thinning of the arrival stream, so a
+        // window of `window` of its own gaps would span `lanes`× more
+        // simulated time than the single-lane estimator's — and lag a
+        // ramp `lanes`× harder. Scaling the per-lane window down keeps
+        // the aggregate time horizon (and so the estimator's
+        // responsiveness) what the config asked for; at one lane the
+        // division is exact and nothing changes.
+        let lane_window = |w: usize| (w / lanes).max(2);
+        let (estimator, bank) = match &cfg.frontend {
+            Frontend::Adaptive {
+                window, load_model, ..
+            } => match load_model {
+                LoadModel::Global => (Some(RateEstimator::new(lane_window(*window))), None),
+                LoadModel::PerServer => (
+                    None,
+                    Some(EstimatorBank::new(cfg.servers, lane_window(*window))),
+                ),
+            },
+            Frontend::Fixed(_) => (None, None),
+        };
+        let peer_width = match &cfg.frontend {
+            Frontend::Adaptive { load_model, .. } => match load_model {
+                LoadModel::Global => 1,
+                LoadModel::PerServer => cfg.servers,
+            },
+            Frontend::Fixed(_) => 1,
+        };
+        let (moment_est, min_samples, recalibrate) = match &cfg.frontend {
+            Frontend::Adaptive {
+                moments:
+                    MomentSource::Estimated {
+                        window,
+                        min_samples,
+                        recalibrate,
+                    },
+                ..
+            } => (
+                Some(MomentEstimator::new(lane_window(*window))),
+                min_samples.div_ceil(lanes),
+                *recalibrate as u64,
+            ),
+            _ => (None, 0, 1),
+        };
+
+        // Lane l owns requests {l, l+lanes, l+2·lanes, …} below `total`.
+        let owned = (total - l).div_ceil(lanes);
+        let mut lane = Lane {
+            id: l as u32,
+            seq: 0,
+            st: Arc::clone(&statics),
+            slice_lo: l * slice_len,
+            slice_len,
+            owned,
+            arrival_rng,
+            place_rng,
+            svc_rng,
+            estimator,
+            bank,
+            peers: PeerLoads::new(lanes, peer_width),
+            moment_est,
+            min_samples,
+            recalibrate,
+            threshold_cache: ThresholdCache::new(),
+            planner,
+            live_planner: planner,
+            live_threshold: threshold,
+            observed: 0,
+            recalibrations: 0,
+            reqs: Vec::with_capacity(owned),
+            response: SampleSet::with_capacity(cfg.requests / lanes + 1),
+            bucket_samples: (0..cfg.buckets).map(|_| SampleSet::new()).collect(),
+            bucket_reqs: vec![0; cfg.buckets],
+            bucket_k2: vec![0; cfg.buckets],
+            bucket_hot: vec![0; cfg.buckets],
+            bucket_hot_k2: vec![0; cfg.buckets],
+            copies_issued: 0,
+            completed: 0,
+            finished: 0,
+            summaries_sent: 0,
+        };
+        if owned > 0 {
+            let first_gap = lane
+                .arrival_rng
+                .exponential(lane.lambda_of(cfg.offered(l)));
+            let seq = lane.take_seq();
+            seeds.push((
+                statics.lane_shard[l] as usize,
+                SimTime::from_secs(first_gap),
+                l as u32,
+                seq,
+                SEv::Arrive { req: l as u32 },
+            ));
+            if lanes > 1 && adaptive {
+                let seq = lane.take_seq();
+                seeds.push((
+                    statics.lane_shard[l] as usize,
+                    SimTime::from_secs(statics.summary_period),
+                    l as u32,
+                    seq,
+                    SEv::SummaryTick { lane: l as u16 },
+                ));
+            }
+        }
+        lanes_vec.push(lane);
+    }
+
+    // Deal lanes round-robin onto the frontend shards (shard f hosts
+    // lanes f, f+F, … — local index lane/F).
+    let mut front_lanes: Vec<Vec<Lane>> = (0..frontends).map(|_| Vec::new()).collect();
+    for lane in lanes_vec {
+        let f = lane.id as usize % frontends;
+        front_lanes[f].push(lane);
+    }
+
+    let mut nodes = Vec::with_capacity(frontends + groups);
+    for lanes_on_shard in front_lanes {
+        nodes.push(Node::Front(Box::new(FrontShard {
+            lanes: lanes_on_shard,
+            lane_count: lanes,
+            frontends,
+        })));
+    }
     for g in 0..groups {
         let n = bounds[g + 1] - bounds[g];
         let (fifo, ps) = match cfg.discipline {
@@ -695,6 +1036,10 @@ pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> Sharde
         };
         nodes.push(Node::Group(Box::new(Group {
             lo: bounds[g],
+            origin: (lanes + g) as u32,
+            seq: 0,
+            lanes: lanes as u32,
+            lane_shard: lane_shard.clone(),
             discipline: cfg.discipline,
             propagation: cfg.propagation,
             fifo,
@@ -705,33 +1050,52 @@ pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> Sharde
 
     let mut engine = ShardEngine::new(nodes, SimTime::from_secs(cfg.propagation));
     // Pre-size per-shard queues to their steady-state footprint.
-    engine.reserve(0, 4 * 1024);
-    for g in 0..groups {
-        engine.reserve(1 + g, (8 * (bounds[g + 1] - bounds[g])).max(256));
+    for f in 0..frontends {
+        engine.reserve(f, 4 * 1024);
     }
-    engine.schedule(0, SimTime::from_secs(first_gap), SEv::Arrive { req: 0 });
+    for g in 0..groups {
+        engine.reserve(
+            frontends + g,
+            (8 * (bounds[g + 1] - bounds[g])).max(256),
+        );
+    }
+    for (shard, at, origin, seq, ev) in seeds {
+        engine.schedule_keyed(shard, at, origin, seq, ev);
+    }
 
     let stats = engine.run(threads);
 
-    let mut states = engine.into_states().into_iter();
-    let mut front = match states.next().expect("frontend shard") {
-        Node::Front(f) => f,
-        Node::Group(_) => unreachable!("shard 0 is the frontend"),
-    };
+    let mut lanes_out: Vec<Lane> = Vec::with_capacity(lanes);
     let mut busy = 0.0f64;
     let mut copies_cancelled = 0u64;
-    for node in states {
+    for node in engine.into_states() {
         match node {
+            Node::Front(f) => lanes_out.extend(f.lanes),
             Node::Group(g) => {
                 busy += g.busy_total();
                 copies_cancelled += g.cancelled;
             }
-            Node::Front(_) => unreachable!("only shard 0 is the frontend"),
         }
     }
+    // Merge in lane order: every fold below is then a fixed-order f64
+    // reduction, bit-identical at any placement.
+    lanes_out.sort_unstable_by_key(|l| l.id);
     let end_time = stats.end_time.as_secs();
 
-    let span = front.span;
+    let mut response = SampleSet::with_capacity(cfg.requests);
+    let mut completed = 0usize;
+    let mut copies_issued = 0u64;
+    let mut recalibrations = 0u64;
+    let mut summaries = 0u64;
+    for lane in &lanes_out {
+        response.merge(&lane.response);
+        completed += lane.completed;
+        copies_issued += lane.copies_issued;
+        recalibrations += lane.recalibrations;
+        summaries += lane.summaries_sent;
+    }
+
+    let span = statics.span;
     let buckets: Vec<RampBucket> = (0..cfg.buckets)
         .map(|b| {
             let width = if span.abs() < f64::EPSILON {
@@ -740,7 +1104,18 @@ pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> Sharde
                 span / cfg.buckets as f64
             };
             let load = cfg.load_start + width * (b as f64 + 0.5);
-            let samples = &mut front.bucket_samples[b];
+            let mut samples = SampleSet::new();
+            let mut requests = 0usize;
+            let mut k2_requests = 0usize;
+            let mut hot_requests = 0usize;
+            let mut hot_k2_requests = 0usize;
+            for lane in &lanes_out {
+                samples.merge(&lane.bucket_samples[b]);
+                requests += lane.bucket_reqs[b];
+                k2_requests += lane.bucket_k2[b];
+                hot_requests += lane.bucket_hot[b];
+                hot_k2_requests += lane.bucket_hot_k2[b];
+            }
             let (mean_response, p99) = if samples.is_empty() {
                 (f64::NAN, f64::NAN)
             } else {
@@ -748,43 +1123,61 @@ pub fn run_sharded(cfg: &ServiceConfig, groups: usize, threads: usize) -> Sharde
             };
             RampBucket {
                 load,
-                requests: front.bucket_reqs[b],
-                k2_requests: front.bucket_k2[b],
+                requests,
+                k2_requests,
                 mean_response,
                 p99,
                 peak_utilization: f64::NAN,
-                hot_requests: front.bucket_hot[b],
-                hot_k2_requests: front.bucket_hot_k2[b],
+                hot_requests,
+                hot_k2_requests,
             }
         })
         .collect();
     let curve: Vec<(f64, f64)> = buckets.iter().map(|b| (b.load, b.frac_k2())).collect();
-    let (est_mean_service, est_scv) = match front.moment_est.as_ref() {
-        Some(me) if me.len() >= front.min_samples => (me.mean(), me.scv()),
+
+    // Pooled service moments across the lanes (Chan's combine) — at one
+    // lane this is exactly the lane's own windowed estimate.
+    let moment_pool = lanes_out
+        .iter()
+        .filter_map(|l| l.moment_est.as_ref().map(|m| m.snapshot()))
+        .fold(None::<MomentSnapshot>, |acc, s| {
+            Some(acc.map_or(s, |a| a.merge(s)))
+        });
+    // Report the pooled moments once the lanes together hold as many
+    // samples as the single-lane gate demanded (at one lane: the same
+    // `len >= min_samples` comparison as before).
+    let min_pooled = lanes_out.first().map_or(0, |l| l.min_samples) * lanes;
+    let (est_mean_service, est_scv) = match moment_pool {
+        Some(snap) if (snap.count as usize) >= min_pooled => (snap.mean, snap.scv()),
         _ => (f64::NAN, f64::NAN),
     };
 
     let result = ServiceResult {
-        response: front.response,
+        response,
         switch_off: switch_off_load(&curve),
         planner_threshold: threshold,
         live_threshold: match &cfg.frontend {
             Frontend::Fixed(_) => f64::NAN,
-            Frontend::Adaptive { .. } => front.live_threshold,
+            // Lane 0's view; lanes recalibrate from the same pooled
+            // summaries so the spread across lanes is within the
+            // exchange period's drift.
+            Frontend::Adaptive { .. } => lanes_out[0].live_threshold,
         },
         est_mean_service,
         est_scv,
-        recalibrations: front.recalibrations,
+        recalibrations,
         buckets,
-        copies_issued: front.copies_issued,
+        copies_issued,
         copies_cancelled,
         mean_utilization: busy / (cfg.servers as f64 * end_time.max(f64::MIN_POSITIVE)),
-        completed: front.completed,
+        completed,
     };
     ShardedOutcome {
         result,
         engine: stats,
         groups,
+        frontends,
+        summaries,
     }
 }
 
@@ -793,7 +1186,6 @@ mod tests {
     use super::*;
     use crate::service;
     use simcore::dist::{DynDist, Exponential};
-    use std::sync::Arc;
 
     fn small_ramp() -> ServiceConfig {
         let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
@@ -816,6 +1208,7 @@ mod tests {
             out.result.copies_issued,
             out.result.copies_cancelled,
             out.result.completed as u64,
+            out.summaries,
             out.engine.events,
             out.engine.rounds,
         ];
@@ -839,6 +1232,68 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn multi_lane_bit_identical_at_any_placement_and_thread_count() {
+        // The tentpole invariant: with 4 lanes, every (frontend shards,
+        // workers) combination produces the same bits — including the
+        // summary-exchange traffic, which lands exactly on horizon
+        // boundaries (period == lookahead).
+        let mut cfg = small_ramp();
+        cfg.frontend_lanes = 4;
+        cfg.requests = 20_000;
+        cfg.warmup = 2_000;
+        let reference = fingerprint(&run_sharded_placed(&cfg, 3, 1, 1));
+        for frontends in [1usize, 2, 4] {
+            for threads in [1usize, 3, 8] {
+                assert_eq!(
+                    reference,
+                    fingerprint(&run_sharded_placed(&cfg, 3, threads, frontends)),
+                    "frontends={frontends} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_exchange_summaries_and_match_single_lane_statistically() {
+        // Decomposing the frontend into lanes changes the RNG decomposition
+        // but not the physics: the ramp's switch-off and throughput agree
+        // with the single-lane run, and summaries actually flow.
+        let cfg1 = small_ramp();
+        let mut cfg4 = small_ramp();
+        cfg4.frontend_lanes = 4;
+        let a = run_sharded(&cfg1, 4, 1);
+        let b = run_sharded(&cfg4, 4, 1);
+        assert_eq!(a.summaries, 0, "a lone lane has no peers");
+        assert!(b.summaries > 0, "lanes must exchange load summaries");
+        assert_eq!(a.result.completed, b.result.completed);
+        assert!(
+            (a.result.switch_off - b.result.switch_off).abs() < 0.05,
+            "switch-off {} vs {}",
+            a.result.switch_off,
+            b.result.switch_off
+        );
+        let (ma, mb) = (a.result.response.mean(), b.result.response.mean());
+        assert!((ma - mb).abs() / ma < 0.05, "mean {ma} vs {mb}");
+    }
+
+    #[test]
+    fn default_placement_knob_caps_the_frontend_shards() {
+        let mut cfg = small_ramp();
+        cfg.frontend_lanes = 4;
+        cfg.requests = 5_000;
+        cfg.warmup = 500;
+        let reference = fingerprint(&run_sharded_placed(&cfg, 2, 1, 4));
+        set_default_frontend_shards(2);
+        let capped = run_sharded(&cfg, 2, 1);
+        set_default_frontend_shards(0);
+        let auto = run_sharded(&cfg, 2, 1);
+        assert_eq!(capped.frontends, 2);
+        assert_eq!(auto.frontends, 4);
+        assert_eq!(fingerprint(&capped), reference);
+        assert_eq!(fingerprint(&auto), reference);
     }
 
     #[test]
@@ -914,6 +1369,15 @@ mod tests {
         let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
         let mut cfg = ServiceConfig::ramp(service, 0.6, 0.6);
         cfg.frontend = Frontend::Fixed(Policy::Always { copies: 2 });
+        let _ = run_sharded(&cfg, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single frontend lane")]
+    fn rejects_popularity_with_multiple_lanes() {
+        let mut cfg = small_ramp();
+        cfg.frontend_lanes = 4;
+        cfg.popularity = Some(service::zipf_popularity(cfg.shards, 0.9));
         let _ = run_sharded(&cfg, 2, 1);
     }
 }

@@ -103,6 +103,31 @@ else
   fails=$((fails + 1))
 fi
 
+# fig-service-frontier: the decomposed (8-lane) frontend must still land the
+# section-2.1 switch-off on the offline threshold at every frontend placement
+# F in {1,2,4,8}; the experiment itself asserts that all placements are
+# bitwise identical, so one "all four placements" line proves the sweep ran.
+if [ -f "$dir/fig-service-frontier.txt" ]; then
+  rows=$(grep -c '^[0-9]' "$dir/fig-service-frontier.txt")
+  bad=$(grep '^[0-9]' "$dir/fig-service-frontier.txt" \
+    | awk '{ d = $3; if (d < 0) d = -d; if (d > 0.05) n++ } END { print n + 0 }')
+  if [ "$rows" -eq 4 ] && [ "$bad" -eq 0 ]; then
+    echo "ok   fig-service-frontier: 4 placements, every switch-off within 0.05 of threshold"
+  else
+    echo "FAIL fig-service-frontier: $rows rows, $bad out of band"
+    fails=$((fails + 1))
+  fi
+  if grep -q 'bitwise identical' "$dir/fig-service-frontier.txt"; then
+    echo "ok   fig-service-frontier: placement invariance asserted in-run"
+  else
+    echo "FAIL fig-service-frontier: missing placement-invariance note"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-frontier: missing $dir/fig-service-frontier.txt"
+  fails=$((fails + 1))
+fi
+
 # fig-service-est: the fully self-calibrating planner (rate, mean, and SCV
 # all measured online) must land its switch-off within +-0.08 of the
 # offline threshold, and within +-0.08 of the clairvoyant run it replaces.

@@ -883,6 +883,115 @@ fn sharded_service_bit_identical_across_thread_counts() {
     }
 }
 
+/// The partitioned frontend is pure placement: with 4 logical frontend
+/// lanes, every (frontend shards, workers) combination in {1,2,4} ×
+/// {1,3,8} produces bit-identical outcomes on a deliberately hostile
+/// workload — a *discrete* two-point service distribution (so departures
+/// collide in exact ties constantly) with cancellation on, and a summary
+/// period of zero, which the engine floors to the propagation delay so
+/// every cross-lane load summary lands exactly on a synchronization-
+/// horizon boundary (the smallest legal delay, the first instant of a
+/// later window). Ties and boundary events are where a placement- or
+/// schedule-dependent merge would first diverge.
+#[test]
+fn partitioned_frontend_trace_identical_across_placements_and_workers() {
+    use low_latency_redundancy::storesim::service::{
+        Frontend, LoadModel, MomentSource, ServiceConfig,
+    };
+    use low_latency_redundancy::storesim::sharded::{run_sharded_placed, ShardedOutcome};
+    use std::sync::Arc;
+
+    // Two service values at 10:1 odds, mean 1 ms: heavy exact ties.
+    let service = Arc::new(DiscreteEmpirical::new(&[(0.5e-3, 0.9), (5.5e-3, 0.1)]));
+    let mut cfg = ServiceConfig::ramp(service, 0.08, 0.5);
+    cfg.servers = 24;
+    cfg.shards = 1536;
+    cfg.requests = 12_000;
+    cfg.warmup = 1_000;
+    cfg.cancellation = true;
+    cfg.propagation = 200.0e-6;
+    cfg.frontend_lanes = 4;
+    cfg.summary_period = 0.0; // floored to the lookahead => boundary hits
+    cfg.frontend = Frontend::Adaptive {
+        window: 512,
+        moments: MomentSource::Estimated {
+            window: 2048,
+            min_samples: 128,
+            recalibrate: 256,
+        },
+        load_model: LoadModel::Global,
+    };
+
+    fn fingerprint(out: &ShardedOutcome) -> Vec<u64> {
+        let mut v = vec![
+            out.engine.events,
+            out.engine.rounds,
+            out.summaries,
+            out.result.completed as u64,
+            out.result.copies_issued,
+            out.result.copies_cancelled,
+            out.result.switch_off.to_bits(),
+            out.result.live_threshold.to_bits(),
+            out.result.mean_utilization.to_bits(),
+            out.result.response.mean().to_bits(),
+        ];
+        for b in &out.result.buckets {
+            v.push(b.requests as u64);
+            v.push(b.k2_requests as u64);
+            v.push(b.mean_response.to_bits());
+            v.push(b.p99.to_bits());
+        }
+        v
+    }
+
+    let reference = run_sharded_placed(&cfg, 6, 1, 1);
+    assert!(
+        reference.summaries > 0,
+        "the hostile workload must actually exchange summaries"
+    );
+    let want = fingerprint(&reference);
+    for frontends in [1usize, 2, 4] {
+        for workers in [1usize, 3, 8] {
+            let got = fingerprint(&run_sharded_placed(&cfg, 6, workers, frontends));
+            assert_eq!(
+                want, got,
+                "trace diverged at frontends={frontends} workers={workers}"
+            );
+        }
+    }
+}
+
+/// The partitioned-frontend refactor left the single-lane path untouched,
+/// bit for bit: quick-mode `fig-service-scale` — the PR 6 sharded-engine
+/// scale headline, which runs with one frontend lane — must reproduce its
+/// pre-refactor report exactly (FNV-1a-64 over the report bytes, captured
+/// from the PR 6 binary). Any drift means the lane decomposition leaked
+/// into the F=1 code path — RNG forking, estimator feeding, or event-key
+/// assignment — rather than being pure placement.
+///
+/// Platform note: same libm caveat as
+/// [`load_model_global_reproduces_pr4_reports_byte_for_byte`].
+#[test]
+fn partitioned_frontend_reproduces_pr6_scale_report_byte_for_byte() {
+    use repro_bench::{run_experiment, Effort};
+
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    let out = run_experiment("fig-service-scale", Effort::Quick);
+    assert_eq!(
+        fnv1a64(out.as_bytes()),
+        0x22c8f7cbc3e51e8fu64,
+        "fig-service-scale drifted from its PR 6 pinned output:\n{out}"
+    );
+}
+
 /// One process-wide thread budget composes across nested spawners: a
 /// saturated outer lease forces inner spawners serial instead of
 /// multiplying `tasks × shards` threads, slots return on drop, and an
