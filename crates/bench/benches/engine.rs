@@ -36,6 +36,8 @@
 //! The harness is self-contained (`harness = false`, no external
 //! dependencies).
 
+#![forbid(unsafe_code)]
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hint::black_box;

@@ -11,6 +11,8 @@
 //! iterations to fill a ~100 ms window, reporting ns/iter. Pass a substring
 //! as the first argument to filter benchmarks by name.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

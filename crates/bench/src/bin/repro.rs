@@ -16,6 +16,8 @@
 //! execution knob, and CI byte-diffs it against the serial tree to prove
 //! placement never leaks into the output.
 
+#![forbid(unsafe_code)]
+
 use repro_bench::{run_experiment, Effort, ABLATION_IDS, ALL_IDS};
 use std::io::Write;
 use std::time::Instant;

@@ -1,0 +1,470 @@
+//! A minimal, dependency-free Rust lexer for the determinism lint.
+//!
+//! The rules in [`crate::rules`] match *token* patterns, never raw text,
+//! so a `HashMap` mention inside a doc comment, a `partial_cmp` inside a
+//! string literal, or a `//` inside a char literal can never fire a rule.
+//! That requires getting Rust's lexical grammar right where it is tricky:
+//!
+//! * line (`//`, `///`, `//!`) and **nested** block (`/* /* */ */`)
+//!   comments;
+//! * string literals with escapes, byte strings, and **raw** strings with
+//!   arbitrary `#` fences (`r#"…"#`, `br##"…"##`) where `\` and `"` are
+//!   ordinary characters;
+//! * char literals vs lifetimes (`'a'` is a literal, `'a` in `<'a>` is
+//!   not), including chars that would otherwise open a comment or string
+//!   (`'"'`, `'/'`, `'\''`) and byte chars (`b'x'`);
+//! * raw identifiers (`r#type`).
+//!
+//! The output is a flat token list with line numbers, plus a per-line
+//! "contains a comment" map used by the `#[allow]`-justification rule.
+//! Everything not an identifier or literal is a single-character
+//! punctuation token; the rules only ever look at identifiers and a
+//! handful of punctuation, so multi-character operators need no special
+//! casing.
+
+/// Token class. Literals (string/char/number) are deliberately opaque:
+/// no rule looks inside them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// One character of punctuation/operator.
+    Punct,
+    /// String, raw string, byte string, char, or number literal.
+    Lit,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: Kind,
+    /// Source text for `Ident` (raw-ident prefix stripped) and `Punct`;
+    /// empty for `Lit`.
+    pub text: String,
+}
+
+impl Tok {
+    /// `true` if this is the identifier `name`.
+    #[inline]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == Kind::Ident && self.text == name
+    }
+
+    /// `true` if this is the punctuation character `c`.
+    #[inline]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A lexed source file: tokens plus the comment-line map.
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    comment_lines: Vec<bool>,
+}
+
+impl Lexed {
+    /// `true` if 1-based `line` contains (part of) a comment.
+    pub fn has_comment_on(&self, line: u32) -> bool {
+        self.comment_lines.get(line as usize).copied().unwrap_or(false)
+    }
+}
+
+#[inline]
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+#[inline]
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lexes `src` into tokens. Unterminated literals/comments end at EOF
+/// rather than erroring: the lint must degrade gracefully on code that
+/// rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let len = b.len();
+    let line_count = src.bytes().filter(|&c| c == b'\n').count() + 2;
+    let mut comment_lines = vec![false; line_count + 1];
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    while i < len {
+        let c = b[i];
+
+        // Whitespace and newlines.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && i + 1 < len && b[i + 1] == b'/' {
+            comment_lines[line as usize] = true;
+            while i < len && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < len && b[i + 1] == b'*' {
+            // Block comment — Rust nests these.
+            comment_lines[line as usize] = true;
+            let mut depth = 1usize;
+            i += 2;
+            while i < len && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    comment_lines[line as usize] = true;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < len && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < len && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Plain string literal.
+        if c == b'"' {
+            let start = line;
+            let (ni, nl) = scan_string(b, i, line);
+            i = ni;
+            line = nl;
+            toks.push(lit(start));
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == b'\'' {
+            let start = line;
+            let (ni, nl, is_literal) = scan_char_or_lifetime(b, i, line);
+            i = ni;
+            line = nl;
+            if is_literal {
+                toks.push(lit(start));
+            }
+            continue;
+        }
+
+        // Byte-char literal b'x'.
+        if c == b'b' && i + 1 < len && b[i + 1] == b'\'' {
+            let start = line;
+            let (ni, nl, _) = scan_char_or_lifetime(b, i + 1, line);
+            i = ni;
+            line = nl;
+            toks.push(lit(start));
+            continue;
+        }
+
+        // String-literal prefixes: r"…", r#"…"#, b"…", br"…", br##"…"##.
+        if c == b'r' || c == b'b' {
+            if let Some((hashes, quote_at, raw)) = string_prefix(b, i) {
+                let start = line;
+                if raw {
+                    // Raw (byte) string: ends at `"` + `hashes` fence
+                    // chars; `\` and `"` are ordinary inside.
+                    let mut j = quote_at + 1;
+                    loop {
+                        if j >= len {
+                            i = len;
+                            break;
+                        }
+                        if b[j] == b'\n' {
+                            line += 1;
+                            j += 1;
+                        } else if b[j] == b'"'
+                            && b.len() - (j + 1) >= hashes
+                            && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#')
+                        {
+                            i = j + 1 + hashes;
+                            break;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                } else {
+                    // Byte string b"…": ordinary escapes.
+                    let (ni, nl) = scan_string(b, quote_at, line);
+                    i = ni;
+                    line = nl;
+                }
+                toks.push(lit(start));
+                continue;
+            }
+        }
+
+        // Raw identifier r#type → plain name, so rules see `type`.
+        if c == b'r' && i + 2 < len && b[i + 1] == b'#' && ident_start(b[i + 2]) {
+            let mut j = i + 2;
+            while j < len && ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: Kind::Ident,
+                text: String::from_utf8_lossy(&b[i + 2..j]).into_owned(),
+            });
+            i = j;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if ident_start(c) {
+            let mut j = i + 1;
+            while j < len && ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                line,
+                kind: Kind::Ident,
+                text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+            });
+            i = j;
+            continue;
+        }
+
+        // Number literal; greedy over digits, `_`, type suffixes, and
+        // hex/exponent letters, taking `.` only when a digit follows (so
+        // `0..5` and `1.max(2)` split correctly).
+        if c.is_ascii_digit() {
+            let start = line;
+            let mut j = i + 1;
+            while j < len {
+                if ident_continue(b[j]) {
+                    j += 1;
+                } else if b[j] == b'.' && j + 1 < len && b[j + 1].is_ascii_digit() {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            toks.push(lit(start));
+            continue;
+        }
+
+        // Everything else: one punctuation character.
+        toks.push(Tok {
+            line,
+            kind: Kind::Punct,
+            text: (c as char).to_string(),
+        });
+        i += 1;
+    }
+
+    Lexed {
+        toks,
+        comment_lines,
+    }
+}
+
+#[inline]
+fn lit(line: u32) -> Tok {
+    Tok {
+        line,
+        kind: Kind::Lit,
+        text: String::new(),
+    }
+}
+
+/// Scans a `"…"`-delimited string with escapes starting at the opening
+/// quote; returns (index past the closing quote, updated line).
+fn scan_string(b: &[u8], open: usize, mut line: u32) -> (usize, u32) {
+    let len = b.len();
+    let mut i = open + 1;
+    while i < len {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, line),
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (len, line)
+}
+
+/// Disambiguates a `'` at `open`: returns (index past the construct,
+/// updated line, `true` if it was a char literal / `false` for a
+/// lifetime). Lifetimes produce no token.
+fn scan_char_or_lifetime(b: &[u8], open: usize, mut line: u32) -> (usize, u32, bool) {
+    let len = b.len();
+    if open + 1 >= len {
+        return (len, line, false);
+    }
+    if b[open + 1] == b'\\' {
+        // Escaped char literal: '\n', '\'', '\\', '\u{..}'. Start at the
+        // backslash so each escape pair is consumed whole — otherwise
+        // '\'' would close on its own escaped quote.
+        let mut i = open + 1;
+        while i < len {
+            if b[i] == b'\\' {
+                i += 2;
+            } else if b[i] == b'\'' {
+                return (i + 1, line, true);
+            } else {
+                if b[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+        }
+        return (len, line, true);
+    }
+    if ident_continue(b[open + 1]) {
+        // Identifier-ish run: lifetime ('a, 'static, '_) unless a closing
+        // quote follows immediately, as in 'a' or 'é'.
+        let mut j = open + 1;
+        while j < len && ident_continue(b[j]) {
+            j += 1;
+        }
+        if j < len && b[j] == b'\'' {
+            return (j + 1, line, true);
+        }
+        return (j, line, false);
+    }
+    // Char literal holding one non-identifier char: '"', '/', '{', ' '.
+    let mut j = open + 1;
+    while j < len && b[j] != b'\'' {
+        if b[j] == b'\n' {
+            line += 1;
+        }
+        j += 1;
+    }
+    ((j + 1).min(len), line, true)
+}
+
+/// If position `i` starts a (raw/byte) *string* prefix — `r"`, `r#…#"`,
+/// `b"`, `br"`, `br#…#"` — returns `(fence_hash_count, quote_index,
+/// is_raw)`. Byte-char literals (`b'`) and raw identifiers (`r#ident`)
+/// return `None`; the caller handles those separately.
+fn string_prefix(b: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    let len = b.len();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let mut raw = false;
+    if j < len && b[j] == b'r' {
+        j += 1;
+        raw = true;
+    }
+    if j == i {
+        return None;
+    }
+    let fence_start = j;
+    if raw {
+        while j < len && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    let hashes = j - fence_start;
+    if j < len && b[j] == b'"' {
+        Some((hashes, j, raw))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "a /* x /* HashMap */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+        assert!(lex(src).has_comment_on(1));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_hide_contents() {
+        let src = r####"let s = r#"HashMap "quoted" // not a comment"#; t"####;
+        assert_eq!(idents(src), ["let", "s", "t"]);
+        assert!(!lex(src).has_comment_on(1));
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slashes() {
+        let src = "let a = '\"'; let b = '/'; let c = '\\''; after";
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c", "after"]);
+        assert!(!lex(src).has_comment_on(1));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        // Lifetimes emit no token at all, so no stray `a` idents appear.
+        assert_eq!(idents(src), ["fn", "f", "x", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn doc_comment_mentions_do_not_tokenize() {
+        let src = "/// uses HashMap internally\n//! and SystemTime\nstruct S;";
+        assert_eq!(idents(src), ["struct", "S"]);
+        let l = lex(src);
+        assert!(l.has_comment_on(1) && l.has_comment_on(2) && !l.has_comment_on(3));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..5 { x.0.max(1.5e-3) }";
+        assert_eq!(idents(src), ["for", "i", "in", "x", "max"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let x = b\"bytes \\\" here\"; let y = br#\"raw \" bytes\"#; let z = b'q'; w";
+        assert_eq!(idents(src), ["let", "x", "let", "y", "let", "z", "w"]);
+    }
+
+    #[test]
+    fn raw_identifiers_strip_their_prefix() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let s = \"line\none\";\nafter";
+        let l = lex(src);
+        let after = l.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn attributes_tokenize_for_the_allow_rule() {
+        let src = "#[allow(dead_code)]\nfn f() {}";
+        let l = lex(src);
+        assert!(l.toks[0].is_punct('#'));
+        assert!(l.toks[1].is_punct('['));
+        assert!(l.toks[2].is_ident("allow"));
+    }
+}

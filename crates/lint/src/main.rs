@@ -1,0 +1,101 @@
+//! CLI driver for the determinism lint. See the crate docs for the
+//! rules; see `--list-rules` for the live table.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lint [--root PATH] [--fix-check] [--list-rules]
+
+Walks the workspace and enforces the determinism rules (see
+crates/lint/src/rules.rs). Violations print as `path:line: [rule] msg`.
+
+  --root PATH   workspace root to scan (default: the workspace this
+                binary was built from, else the current directory)
+  --fix-check   same scan, but frames the report as a fix worklist
+                (one violation per line, no summary banner)
+  --list-rules  print the rule table and exit
+
+exit status: 0 clean, 1 violations found, 2 usage or IO error";
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p lint`, cargo sets CARGO_MANIFEST_DIR to
+    // crates/lint; the workspace root is two levels up. As a plain
+    // binary, fall back to the current directory.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(dir);
+        if let Some(root) = manifest.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut fix_check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lint: --root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fix-check" => fix_check = true,
+            "--list-rules" => {
+                for rule in lint::RULES {
+                    println!("{:<22} {}", rule.id, rule.summary);
+                    for (path, reason) in rule.allows {
+                        println!("{:<22}   allowed in {path}: {reason}", "");
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    match lint::check_workspace(&root) {
+        Ok((violations, files)) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                if !fix_check {
+                    println!(
+                        "lint: clean — {files} files, {} rules, 0 violations",
+                        lint::RULES.len()
+                    );
+                }
+                ExitCode::SUCCESS
+            } else {
+                if !fix_check {
+                    eprintln!(
+                        "lint: {} violation(s) across {files} files scanned",
+                        violations.len()
+                    );
+                }
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

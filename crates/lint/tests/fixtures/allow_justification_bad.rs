@@ -1,0 +1,18 @@
+//! Fixture: `#[allow(..)]` attributes with and without justification.
+
+// Published constants, kept digit-for-digit.
+#[allow(clippy::excessive_precision)]
+const FINE_COMMENT_ABOVE: f64 = 1.234_567_890_123_456_789;
+
+#[allow(dead_code)] // retained for the next milestone's API
+fn fine_same_line() {}
+
+#[allow(dead_code)]
+fn bad_no_comment() {} // BAD: the attribute line and the line above are bare
+
+fn spacer() {}
+
+// A comment two lines above does not count.
+
+#[allow(unused_variables)]
+fn bad_comment_too_far(x: u32) {} // BAD

@@ -1,0 +1,46 @@
+//! Fixture: determinism-clean simulation code exercising every rule's
+//! *negative* space — checked under a simulation-crate path, this file
+//! must produce zero violations.
+//!
+//! Doc-comment mentions that must not fire: HashMap iteration, a
+//! HashSet, Instant::now, SystemTime, partial_cmp, ctx.send.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+struct Cache {
+    // Keyed-only HashMap: fine.
+    by_key: HashMap<u64, f64>,
+    // Traversal happens here instead: ordered.
+    sorted: BTreeMap<u64, f64>,
+}
+
+impl Cache {
+    fn lookup(&self, k: u64) -> Option<f64> {
+        self.by_key.get(&k).copied()
+    }
+
+    fn drain_ordered(&self) -> Vec<(u64, f64)> {
+        // BTreeMap traversal: deterministic, allowed.
+        self.sorted.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+fn comparator(xs: &mut [f64]) {
+    // The project norm for float ordering.
+    xs.sort_by(f64::total_cmp);
+}
+
+fn strings_and_chars() -> (char, char, &'static str, &'static str) {
+    // Rule tokens inside literals must not fire:
+    let quote = '"';
+    let slash = '/';
+    let s = "HashMap::iter() and Instant::now() and SystemTime here";
+    let raw = r#"ctx.send(1, d, ev) and a.partial_cmp(b) stay inert"#;
+    (quote, slash, s, raw)
+}
+
+/* A block comment /* nested, as Rust allows */ mentioning
+   for x in &map { } and SystemTime — must not fire. */
+fn tail() {}

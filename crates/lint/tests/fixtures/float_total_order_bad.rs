@@ -1,0 +1,26 @@
+//! Fixture: IEEE partial comparison in a comparator — must fire the
+//! `float-total-order` rule. A `partial_cmp` inside this comment or a
+//! string must NOT fire.
+
+fn pick(xs: &[(f64, f64)], target: f64) -> (f64, f64) {
+    *xs.iter()
+        .min_by(|a, b| {
+            (a.0 - target)
+                .abs()
+                .partial_cmp(&(b.0 - target).abs()) // BAD
+                .unwrap()
+        })
+        .unwrap()
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // BAD
+    v
+}
+
+fn fine(mut v: Vec<f64>) -> Vec<f64> {
+    // The project norm — must NOT fire.
+    v.sort_by(f64::total_cmp);
+    let _s = "docs may say partial_cmp without firing";
+    v
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` — checked
+//! under a crate-root path, this must fire the `forbid-unsafe` rule.
+//! (A `forbid(unsafe_code)` spelled only in comments doesn't count.)
+
+pub fn noop() {}

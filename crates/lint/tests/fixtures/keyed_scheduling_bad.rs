@@ -1,0 +1,14 @@
+//! Fixture: raw scheduling calls in placement-invariant frontend/lane
+//! code — each marked line must fire the `keyed-scheduling` rule when
+//! this file is checked under the sharded-service path.
+
+fn frontend_lane(ctx: &mut Ctx, engine: &mut Engine) {
+    ctx.send(1, DELAY, Event::Probe); // BAD: merge key = physical shard
+    ctx.schedule_at(T0, Event::Tick); // BAD
+    ctx.schedule_after(DELAY, Event::Tick); // BAD
+    engine.schedule(0, T0, Event::Seed); // BAD
+    ctx.send_keyed(1, DELAY, LANE, seq, Event::Probe); // fine: logical key
+    ctx.schedule_at_keyed(T0, LANE, seq, Event::Tick); // fine
+    engine.schedule_keyed(0, T0, LANE, seq, Event::Seed); // fine
+    jobs.push(Event::Tick); // fine: Vec push, receiver isn't ctx/engine
+}

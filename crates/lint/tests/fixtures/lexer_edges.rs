@@ -1,0 +1,30 @@
+//! Fixture: lexer stress — nested block comments, raw strings with `#`
+//! fences, char literals containing `"` and `//`, and a HashMap mention
+//! in this doc comment (must NOT fire any rule). Checked under a
+//! simulation-crate path, this file must produce zero violations.
+
+fn nested_comments() {
+    /* level 1 /* level 2: for k in &map { } /* level 3: SystemTime */ */
+       still inside level 1: Instant::now() */
+    let _after = 1;
+}
+
+fn raw_fences() -> (&'static str, &'static str, &'static [u8]) {
+    let one = r#"fence one: "quoted" // not a comment, HashMap.iter()"#;
+    let two = r##"fence two: "#  almost-closers  "# then really"##;
+    let bytes = br#"byte raw: SystemTime and ctx.send(0, d, e)"#;
+    (one, two, bytes)
+}
+
+fn tricky_chars() -> (char, char, char, char) {
+    let dquote = '"'; // a literal double quote — no string starts here
+    let slash = '/'; // with another: // would look like a comment
+    let escaped = '\'';
+    let newline = '\n';
+    (dquote, slash, escaped, newline)
+}
+
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // 'a above must not open a char literal that swallows code.
+    x
+}

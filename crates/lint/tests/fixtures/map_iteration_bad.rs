@@ -1,0 +1,40 @@
+//! Fixture: HashMap traversal in a simulation crate — every marked line
+//! must fire the `map-iteration` rule.
+
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    counts: HashMap<u64, u32>,
+}
+
+fn traversals(state: &State) {
+    let mut local: HashMap<u64, u32> = HashMap::new();
+    local.insert(1, 2);
+    for (k, v) in &state.counts {
+        // BAD: iteration order leaks
+        let _ = (k, v);
+    }
+    let _sum: u32 = local.values().sum(); // BAD
+    let _keys: Vec<_> = local.keys().collect(); // BAD
+    let inferred = HashMap::<u64, u32>::new();
+    for pair in &inferred {
+        // BAD
+        let _ = pair;
+    }
+    let seen: HashSet<u64> = HashSet::new();
+    let _v: Vec<_> = seen.iter().collect(); // BAD
+}
+
+fn by_reference_param(table: &std::collections::HashMap<u64, f64>) -> f64 {
+    // BAD: the `&`-qualified fully-pathed param is still a HashMap.
+    table.values().sum()
+}
+
+fn keyed_lookups_are_fine(state: &State) -> Option<u32> {
+    // These must NOT fire: keyed access has no order to leak.
+    let mut m: HashMap<u64, u32> = HashMap::new();
+    m.insert(7, 1);
+    let _ = m.contains_key(&7);
+    let _ = m.len();
+    state.counts.get(&7).copied()
+}

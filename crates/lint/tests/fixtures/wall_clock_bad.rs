@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads in simulation code — both must fire the
+//! `wall-clock` rule. The mentions in this doc comment (Instant::now,
+//! SystemTime) must NOT fire: comments don't tokenize.
+
+use std::time::{Instant, SystemTime};
+
+fn measure() -> f64 {
+    let start = Instant::now(); // BAD
+    let _epoch = SystemTime::now(); // BAD (SystemTime alone fires)
+    start.elapsed().as_secs_f64()
+}

@@ -194,6 +194,25 @@ pub fn overhead_sweep<D: Distribution + Clone>(
     overhead_fractions.iter().copied().zip(thresholds).collect()
 }
 
+/// The sweep row whose threshold (first element) is nearest `target`.
+///
+/// Uses `f64::total_cmp` on the absolute distances — the workspace-wide
+/// rule for float comparators — so the choice is deterministic for every
+/// input: equal distances resolve to the earliest row, and non-finite
+/// distances (a NaN threshold, or an infinite one when `target` is
+/// finite) sort *after* every finite distance, so such rows are only
+/// returned when no finite candidate exists. A `partial_cmp(..).unwrap()`
+/// here would instead panic the moment a sweep produced a NaN row.
+///
+/// # Panics
+/// If `entries` is empty.
+pub fn nearest_entry(entries: &[(f64, f64)], target: f64) -> (f64, f64) {
+    *entries
+        .iter()
+        .min_by(|a, b| (a.0 - target).abs().total_cmp(&(b.0 - target).abs()))
+        .expect("nearest_entry requires at least one sweep row")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,17 +239,29 @@ mod tests {
         // matching thresholds (curves share the log grid only roughly, so
         // compare at the single curve's median threshold).
         let mid = single.entries()[single.entries().len() / 2];
-        let d_at = double
-            .entries()
-            .iter()
-            .min_by(|a, b| {
-                (a.0 - mid.0)
-                    .abs()
-                    .partial_cmp(&(b.0 - mid.0).abs())
-                    .unwrap()
-            })
-            .unwrap();
+        let d_at = nearest_entry(double.entries(), mid.0);
         assert!(d_at.1 <= mid.1 + 0.01, "double {d_at:?} vs single {mid:?}");
+    }
+
+    #[test]
+    fn nearest_entry_total_order_on_ties_and_non_finite() {
+        // Equal distances: |3-4| == |5-4|; total_cmp makes them a true tie
+        // and min_by keeps the earliest row, deterministically.
+        let rows = [(1.0, 0.9), (3.0, 0.5), (5.0, 0.1)];
+        assert_eq!(nearest_entry(&rows, 4.0), (3.0, 0.5));
+
+        // Non-finite candidates (NaN / inf thresholds) lose to any finite
+        // row: |NaN| sorts above +inf under total_cmp (abs() clears the
+        // sign bit, so the NaN distance is always positive NaN).
+        let rows = [(f64::NAN, 0.2), (f64::INFINITY, 0.3), (2.0, 0.7)];
+        assert_eq!(nearest_entry(&rows, 0.0), (2.0, 0.7));
+
+        // All-NaN input returns a row instead of panicking, which is the
+        // whole point of dropping partial_cmp(..).unwrap().
+        let rows = [(f64::NAN, 0.1), (f64::NAN, 0.2)];
+        let got = nearest_entry(&rows, 1.0);
+        assert!(got.0.is_nan());
+        assert_eq!(got.1, 0.1);
     }
 
     #[test]

@@ -1149,7 +1149,9 @@ mod tests {
         // Include zero-weight entries: they must never sample.
         let d = DiscreteEmpirical::new(&[(1.0, 0.2), (2.0, 0.0), (3.0, 0.5), (4.0, 0.0), (5.0, 0.3)]);
         let mut rng = Rng::seed_from(23);
-        let mut counts = std::collections::HashMap::new();
+        // BTreeMap keeps the `{counts:?}` failure message in key order and
+        // stays clear of the determinism lint's HashMap-traversal rule.
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..100_000 {
             let x = d.sample(&mut rng);
             *counts.entry(x as u64).or_insert(0usize) += 1;

@@ -351,7 +351,9 @@ mod tests {
     fn distinct_indices_uniform_pairs() {
         // Drawing 2 of 4: each unordered pair should appear ~1/6 of the time.
         let mut r = Rng::seed_from(29);
-        let mut counts = std::collections::HashMap::new();
+        // BTreeMap: the loop below traverses the map, and the determinism
+        // lint bans order-dependent HashMap traversal in this crate.
+        let mut counts = std::collections::BTreeMap::new();
         let n = 60_000;
         for _ in 0..n {
             let mut p = r.distinct_indices(4, 2);

@@ -45,6 +45,8 @@ use std::cmp::Ordering as CmpOrdering;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+pub mod check;
+
 /// `f64` bit pattern of positive infinity: the "no pending events" sentinel
 /// in the round-minimum slots. For non-negative floats the `u64` bit
 /// patterns order identically to the values, so `fetch_min` on bits is a
@@ -236,11 +238,19 @@ impl<E> ShardQueue<E> {
     /// Removes and returns the earliest entry by `(time, origin, seq)`,
     /// advancing the shard clock. `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.pop_entry()?;
+        Some((entry.time, entry.event))
+    }
+
+    /// [`ShardQueue::pop`] keeping the full `(time, origin, seq)` merge
+    /// key — the schedule-exploration checker ([`check`]) traces these
+    /// keys to prove pop order is schedule-independent.
+    fn pop_entry(&mut self) -> Option<Entry<E>> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.time >= self.now, "heap returned a past event");
         self.now = entry.time;
         self.popped += 1;
-        Some((entry.time, entry.event))
+        Some(entry)
     }
 
     /// Timestamp of the next entry without popping it.

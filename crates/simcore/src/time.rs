@@ -21,7 +21,7 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A point in simulated time (or a span of it), in seconds.
-#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+#[derive(Clone, Copy, Default)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -102,9 +102,15 @@ impl SimTime {
     }
 }
 
-impl Eq for SimTime {}
-
-#[allow(clippy::derive_ord_xor_partial_ord)]
+// The four comparison traits form one canonical family rooted at
+// `f64::total_cmp`: `Ord` defines the total order, `PartialOrd` and
+// `PartialEq` delegate to it, and `Eq` is sound because `total_cmp` is a
+// total order even over NaN and signed zeros. This is what lets `SimTime`
+// key the event-queue heaps with no panic path and no IEEE partial-order
+// escape hatch. Consequence worth knowing: `-0.0 != +0.0` and
+// `NaN == NaN` under this order, unlike bare `f64` — fine here because
+// NaN is debug-rejected at construction and all constructors produce
+// `+0.0` for zero.
 impl Ord for SimTime {
     #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
@@ -112,7 +118,22 @@ impl Ord for SimTime {
     }
 }
 
-#[allow(clippy::non_canonical_partial_ord_impl)]
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for SimTime {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other).is_eq()
+    }
+}
+
+impl Eq for SimTime {}
+
 impl Add for SimTime {
     type Output = SimTime;
     #[inline]
@@ -248,5 +269,53 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    /// Pins the `total_cmp` order on the values IEEE 754 leaves unordered
+    /// or ambiguous, so the event-queue merge key stays total even if a
+    /// NaN or signed zero ever leaks past the debug constructors.
+    #[test]
+    fn total_order_pins_nan_and_signed_zero() {
+        // NaN can only arise through the unchecked compound-assign path
+        // (e.g. inf - inf); build one that way rather than via from_secs,
+        // which debug-panics.
+        let mut nan = SimTime::from_secs(f64::INFINITY);
+        nan -= SimTime::from_secs(f64::INFINITY);
+        assert!(nan.as_secs().is_nan());
+
+        // NaN is *ordered*, at the extreme end matching its sign bit
+        // (total_cmp): a leaked NaN drains first or last, it never wedges
+        // the heap. inf - inf yields the platform's default quiet NaN,
+        // whose sign differs by architecture (negative on x86), so pin
+        // whichever end this one landed on.
+        let inf = SimTime::from_secs(f64::INFINITY);
+        let neg_inf = SimTime::from_secs(f64::NEG_INFINITY);
+        if nan.as_secs().is_sign_negative() {
+            assert!(nan < neg_inf);
+            assert!(nan < SimTime::ZERO);
+        } else {
+            assert!(nan > SimTime::MAX);
+            assert!(nan > inf);
+        }
+        assert!(inf > SimTime::MAX);
+        assert!(neg_inf < SimTime::from_secs(f64::MIN));
+
+        // The order is reflexive on NaN (Eq is honest): no panic path,
+        // no `unwrap` on a `partial_cmp` None.
+        assert_eq!(nan.cmp(&nan), std::cmp::Ordering::Equal);
+        assert!(nan == nan);
+
+        // Signed zeros are *distinct* and ordered: -0.0 < +0.0. All
+        // constructors produce +0.0 for zero, so ZERO comparisons are
+        // unaffected, but the merge key must not treat them as ties.
+        let neg_zero = SimTime::from_secs(-0.0);
+        assert!(neg_zero < SimTime::ZERO);
+        assert!(neg_zero != SimTime::ZERO);
+        assert_eq!(neg_zero.max(SimTime::ZERO), SimTime::ZERO);
+
+        // And the familiar total order on ordinary values still holds
+        // around the exotic ones.
+        assert!(SimTime::from_secs(-1.0) < neg_zero);
+        assert!(SimTime::ZERO < SimTime::from_secs(1.0));
     }
 }

@@ -77,7 +77,10 @@ impl HashRing {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    // BTreeMap, not HashMap: the assertion loop below traverses the map,
+    // and the determinism lint (`cargo run -p lint`, rule map-iteration)
+    // bans order-dependent HashMap traversal in simulation crates.
+    use std::collections::BTreeMap;
 
     #[test]
     fn deterministic_lookup() {
@@ -91,7 +94,7 @@ mod tests {
     fn balance_with_enough_vnodes() {
         let servers = 8;
         let ring = HashRing::new(servers, 128);
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         let n = 100_000u64;
         for key in 0..n {
             *counts.entry(ring.primary(key)).or_insert(0usize) += 1;

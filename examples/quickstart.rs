@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use low_latency_redundancy::redundancy::prelude::*;
 use low_latency_redundancy::simcore::dist::{Distribution, LogNormal};
 use low_latency_redundancy::simcore::rng::Rng;

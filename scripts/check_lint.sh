@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Guard: the determinism lint must (a) pass the real workspace and
+# (b) still *fail* on code that violates a rule. Without (b), a lint
+# binary that rotted into always-exiting-0 would keep CI green while
+# enforcing nothing — this script is the negative test for the gate
+# itself. It fabricates a tiny crate with a wall-clock read and a
+# HashMap traversal and requires the lint to reject it, naming both
+# rules, with file:line locations in --fix-check format.
+# Usage: check_lint.sh <lint-binary> [workspace-root]
+set -u
+bin="${1:?usage: check_lint.sh <lint-binary> [workspace-root]}"
+root="${2:-.}"
+if [ ! -x "$bin" ]; then
+  echo "usage: check_lint.sh <lint-binary> [workspace-root]"
+  echo "FAIL: '$bin' is not an executable"
+  exit 2
+fi
+
+# (a) The real workspace is clean.
+if ! "$bin" --root "$root"; then
+  echo "FAIL: lint reports violations in the workspace at '$root'"
+  exit 1
+fi
+
+# (b) A deliberately dirty crate is rejected.
+tmp=$(mktemp -d) || exit 2
+trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/src"
+cat > "$tmp/Cargo.toml" <<'EOF'
+[package]
+name = "lint-negative-probe"
+version = "0.0.0"
+edition = "2021"
+EOF
+cat > "$tmp/src/clock.rs" <<'EOF'
+use std::time::SystemTime;
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+pub fn drain(m: &std::collections::HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+EOF
+
+out=$("$bin" --fix-check --root "$tmp")
+status=$?
+if [ "$status" -ne 1 ]; then
+  echo "FAIL: lint exited $status on a crate with known violations (want 1)"
+  echo "$out"
+  exit 1
+fi
+for needle in "wall-clock" "map-iteration" "src/clock.rs:"; do
+  if ! printf '%s\n' "$out" | grep -q "$needle"; then
+    echo "FAIL: lint output does not mention '$needle':"
+    echo "$out"
+    exit 1
+  fi
+done
+echo "lint gate verified: workspace clean, dirty probe rejected with file:line"
