@@ -437,6 +437,15 @@ fn main() {
         svc_workers,
         frontier_json,
     );
+    // The hotpath bench owns the "hotpath" section of this file; carry an
+    // existing one over so the two benches can run in either order.
+    let json = match std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|old| repro_bench::util::json_extract_object(&old, "hotpath"))
+    {
+        Some(hp) => repro_bench::util::json_with_object(&json, "hotpath", &hp),
+        None => json,
+    };
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     println!("wrote {out_path}");
 

@@ -1,0 +1,271 @@
+//! Wall-clock frontend hot-path probes
+//! (`cargo bench -p repro-bench --bench hotpath`).
+//!
+//! Measures the per-request work `storesim::rt`'s frontend does between
+//! pulling a request off the script and handing copies to the workers,
+//! in isolation and as the combined sequence, against the < 1 µs budget
+//! that makes per-request planning viable at all (Shah/Lee/Ramchandran's
+//! point: past some per-decision overhead, redundancy flips negative):
+//!
+//! * `estimator_ingest` — two routed `EstimatorBank` arrival
+//!   observations plus the two utilization reads the planner consumes;
+//! * `planner_decision` — one `Planner::decide_for` through a warm
+//!   `ThresholdCache`;
+//! * `cancel_issue` — the cancellation lifecycle the frontend drives per
+//!   request: token issue, the clone handed to each copy, the cancel on
+//!   first response, and the loser's observation of it;
+//! * `combined` — the stages chained exactly as `rt::run`'s dispatch
+//!   loop chains them (ingest, decide, trace-fingerprint, per-copy
+//!   moment ingest, token issue). `--assert-budget` turns the < 1000 ns
+//!   budget into a hard failure — the CI gate;
+//! * `race` — one `sync_exec::race` (two thread-spawned replicas) vs,
+//!   under `--features tokio-exec`, one `tokio_exec::race_async` (two
+//!   futures on the built-in single-thread executor), both over trivial
+//!   bodies so the numbers isolate executor dispatch + first-response
+//!   cancellation, not the work being raced.
+//!
+//! Results print as text and merge into the `"hotpath"` section of
+//! `BENCH_engine.json` (default; `--out PATH` overrides; relative paths
+//! resolve against the workspace root). Other sections of an existing
+//! file are preserved — the `engine` bench owns those.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use redundancy::cancel::CancelToken;
+use redundancy::estimator::{EstimatorBank, MomentEstimator};
+use redundancy::planner::{Planner, ThresholdCache, WorkloadProfile};
+use redundancy::sync_exec::{race, replica};
+use repro_bench::util::{json_extract_object, json_with_object};
+
+/// Best-of-3 [`time_ns`] (the minimum; interference only adds time).
+fn best_ns(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| time_ns(&mut f))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Times `f` and returns ns/iter over a ~100 ms window (20 ms warm-up).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    let mut warm_iters = 0u64;
+    while t0.elapsed() < Duration::from_millis(20) {
+        f();
+        warm_iters += 1;
+    }
+    let est = t0.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+    let iters = ((100.0e6 / est.max(1.0)) as u64).clamp(10, 50_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t1.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The FNV-1a step `rt::run` folds each trace entry through.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let assert_budget = args.iter().any(|a| a == "--assert-budget");
+    let out_arg = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let out_path = if std::path::Path::new(&out_arg).is_absolute() {
+        out_arg
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(&out_arg)
+            .to_string_lossy()
+            .into_owned()
+    };
+    // Quick mode keeps the same measurement window but takes one sample
+    // instead of best-of-3 — the stages are ns-scale, so even one window
+    // is tens of millions of iterations.
+    let measure = |f: &mut dyn FnMut()| if quick { time_ns(f) } else { best_ns(f) };
+
+    // Mirror RtConfig::smoke's planner inputs: 8 servers, exponential
+    // service (scv 1), client overhead well under the paper's 9 % flip.
+    let servers = 8usize;
+    let mean_service = 5.0e-6;
+    let planner = Planner::new(WorkloadProfile {
+        mean_service,
+        scv: 1.0,
+        client_overhead: 0.02 * mean_service,
+    });
+    let budget_ns = 1000.0;
+
+    // --- estimator ingest: two routed arrivals + two utilization reads ---
+    let mut bank = EstimatorBank::new(servers, 512);
+    let mut t = 0.0f64;
+    let mut s = 0usize;
+    for i in 0..servers * 8 {
+        bank.observe_arrival(i % servers, t);
+        t += 1.0e-5;
+    }
+    let ingest_ns = measure(&mut || {
+        s = (s + 1) % servers;
+        let pair = [s, (s + 3) % servers];
+        t += 2.0e-5;
+        bank.observe_arrival(pair[0], t);
+        bank.observe_arrival(pair[1], t);
+        let loads = [
+            bank.utilization(pair[0], mean_service, 2),
+            bank.utilization(pair[1], mean_service, 2),
+        ];
+        black_box(loads);
+    });
+    println!("estimator_ingest               {ingest_ns:>10.2} ns/iter");
+
+    // --- planner decision through a warm threshold cache ---
+    let mut cache = ThresholdCache::new();
+    let mut flip = 0u32;
+    let _ = planner.decide_for(&mut cache, &[0.1]);
+    let decision_ns = measure(&mut || {
+        flip = flip.wrapping_add(1);
+        // Alternate under/over the threshold so both branches stay hot.
+        let load = if flip & 1 == 0 { 0.1 } else { 0.9 };
+        let d = planner.decide_for(&mut cache, &[load, load * 0.5]);
+        black_box(d.replicate);
+    });
+    println!("planner_decision               {decision_ns:>10.2} ns/iter");
+
+    // --- cancel issue: token, per-copy clones, cancel, loser observes ---
+    let cancel_ns = measure(&mut || {
+        let token = CancelToken::new();
+        let c0 = token.clone();
+        let c1 = token.clone();
+        token.cancel();
+        black_box((c0.is_cancelled(), c1.is_cancelled()));
+    });
+    println!("cancel_issue                   {cancel_ns:>10.2} ns/iter");
+
+    // --- the combined per-request sequence, as rt::run chains it ---
+    let mut cbank = EstimatorBank::new(servers, 512);
+    let mut ccache = ThresholdCache::new();
+    let mut moments = MomentEstimator::new(4096);
+    let mut fingerprint = 0xCBF2_9CE4_8422_2325u64;
+    let mut ct = 0.0f64;
+    let mut cs = 0usize;
+    for i in 0..servers * 8 {
+        cbank.observe_arrival(i % servers, ct);
+        ct += 1.0e-5;
+    }
+    let combined_ns = measure(&mut || {
+        cs = (cs + 1) % servers;
+        let pair = [cs, (cs + 3) % servers];
+        ct += 2.0e-5;
+        cbank.observe_arrival(pair[0], ct);
+        cbank.observe_arrival(pair[1], ct);
+        let loads = [
+            cbank.utilization(pair[0], mean_service, 2),
+            cbank.utilization(pair[1], mean_service, 2),
+        ];
+        let d = planner.decide_for(&mut ccache, &loads);
+        let k: u8 = if d.replicate { 2 } else { 1 };
+        fnv1a(&mut fingerprint, &[k]);
+        for _ in 0..k {
+            moments.observe(mean_service);
+        }
+        let token = CancelToken::new();
+        black_box((fingerprint, token.is_cancelled()));
+    });
+    println!(
+        "combined_hot_path              {combined_ns:>10.2} ns/iter (budget {budget_ns:.0})"
+    );
+
+    // --- thread racer vs async racer over trivial bodies ---
+    let thread_race_ns = measure(&mut || {
+        let out = race(vec![
+            replica(|_t: &CancelToken| 1u32),
+            replica(|_t: &CancelToken| 2u32),
+        ])
+        .unwrap();
+        black_box((out.value, out.winner));
+    });
+    println!(
+        "race_thread_executor           {thread_race_ns:>10.2} ns/race (2 copies, sync_exec::race)"
+    );
+    #[cfg(feature = "tokio-exec")]
+    let async_race_ns = {
+        use redundancy::tokio_exec::{block_on, race_async};
+        let ns = measure(&mut || {
+            let futs: Vec<_> = (1u32..=2).map(|i| async move { i }).collect();
+            let out = block_on(race_async(futs)).unwrap();
+            black_box(out);
+        });
+        println!(
+            "race_async_executor            {ns:>10.2} ns/race (2 copies, tokio_exec::race_async)"
+        );
+        println!(
+            "race_thread_over_async         {:>10.2} x (thread-spawn cost per race)",
+            thread_race_ns / ns
+        );
+        Some(ns)
+    };
+    #[cfg(not(feature = "tokio-exec"))]
+    let async_race_ns: Option<f64> = {
+        println!("race_async_executor            skipped (build with --features tokio-exec)");
+        None
+    };
+
+    let hotpath = format!(
+        "{{\n    \"mode\": \"{}\",\n    \"servers\": {},\n    \
+         \"estimator_ingest_ns\": {},\n    \
+         \"planner_decision_ns\": {},\n    \
+         \"cancel_issue_ns\": {},\n    \
+         \"combined_ns\": {},\n    \
+         \"budget_ns\": {},\n    \
+         \"race_thread_executor_ns\": {},\n    \
+         \"race_async_executor_ns\": {}\n  }}",
+        if quick { "quick" } else { "full" },
+        servers,
+        json_f(ingest_ns),
+        json_f(decision_ns),
+        json_f(cancel_ns),
+        json_f(combined_ns),
+        budget_ns as u64,
+        json_f(thread_race_ns),
+        async_race_ns.map_or("null".to_string(), json_f),
+    );
+    let doc = match std::fs::read_to_string(&out_path) {
+        Ok(old) => json_with_object(&old, "hotpath", &hotpath),
+        // No engine run yet (fresh checkout / CI job workspace): a
+        // minimal document holding just this bench's section.
+        Err(_) => format!(
+            "{{\n  \"generated_by\": \"cargo bench -p repro-bench --bench hotpath\",\n  \
+             \"hotpath\": {hotpath}\n}}\n"
+        ),
+    };
+    debug_assert!(json_extract_object(&doc, "hotpath").is_some());
+    std::fs::write(&out_path, &doc).expect("write BENCH_engine.json");
+    println!("wrote {out_path} (hotpath section)");
+
+    if assert_budget {
+        assert!(
+            combined_ns < budget_ns,
+            "combined hot path {combined_ns:.1} ns/iter exceeds the {budget_ns:.0} ns budget"
+        );
+        println!("asserted combined hot path {combined_ns:.1} ns < {budget_ns:.0} ns budget");
+    }
+}

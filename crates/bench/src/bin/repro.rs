@@ -84,7 +84,11 @@ fn main() {
                 println!("{id}");
             }
         } else {
-            for id in ALL_IDS.iter().chain(ABLATION_IDS).chain(&["heavytail"]) {
+            for id in ALL_IDS
+                .iter()
+                .chain(ABLATION_IDS)
+                .chain(&["heavytail", "svc-rt"])
+            {
                 println!("{id}");
             }
         }
@@ -98,7 +102,8 @@ fn main() {
     for id in &ids {
         let known = ALL_IDS.contains(&id.as_str())
             || ABLATION_IDS.contains(&id.as_str())
-            || id == "heavytail";
+            || id == "heavytail"
+            || id == "svc-rt";
         if !known {
             eprintln!("unknown experiment id '{id}'; try `repro list`");
             std::process::exit(2);
@@ -138,4 +143,5 @@ fn usage() {
     );
     eprintln!("figures:   {}", ALL_IDS.join(" "));
     eprintln!("ablations: {} heavytail", ABLATION_IDS.join(" "));
+    eprintln!("wall-clock: svc-rt (latencies are real; excluded from `all` and byte-diffs)");
 }

@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod network;
 pub mod queueing;
+pub mod rt_report;
 pub mod store;
 pub mod util;
 pub mod wan;
@@ -117,6 +118,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig16" => wan::fig16(effort),
         "fig17" => wan::fig17(effort),
         "heavytail" => queueing::heavy_tail_table(),
+        "svc-rt" => rt_report::svc_rt(effort),
         id if ABLATION_IDS.contains(&id) => ablations::run_ablation(id, effort),
         other => panic!("unknown experiment id: {other}"),
     }

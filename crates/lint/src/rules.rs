@@ -92,6 +92,7 @@ pub const CRATE_ROOTS: &[&str] = &[
     "crates/bench/src/lib.rs",
     "crates/bench/src/bin/repro.rs",
     "crates/bench/benches/engine.rs",
+    "crates/bench/benches/hotpath.rs",
     "crates/bench/benches/primitives.rs",
     "crates/lint/src/lib.rs",
     "crates/lint/src/main.rs",
@@ -129,6 +130,12 @@ pub const RULES: &[Rule] = &[
             (
                 "crates/bench/",
                 "benchmarks measure wall-clock; that is their output, not simulation state",
+            ),
+            (
+                "crates/storesim/src/rt.rs",
+                "the wall-clock runtime module executes on real threads; Instant is its \
+                 data plane, and every estimator/planner input there is script time by \
+                 construction (see the module docs) — no other storesim module is exempt",
             ),
         ],
     },

@@ -70,10 +70,25 @@ fn wall_clock_fixture_fails() {
     let lines = lines_of(&v, "wall-clock");
     // The import line, Instant::now, and the SystemTime::now call.
     assert_eq!(lines.len(), 3, "{v:#?}");
-    // Allowlisted paths: executors and the bench crate.
+    // Allowlisted paths: executors, the bench crate, and the one
+    // wall-clock storesim module (the rt runtime).
     assert!(fired("crates/core/src/sync_exec.rs", src).is_empty());
     assert!(fired("crates/core/src/tokio_exec.rs", src).is_empty());
     assert!(fired("crates/bench/src/fixture.rs", src).is_empty());
+    assert!(fired("crates/storesim/src/rt.rs", src).is_empty());
+    // The rt allowlist entry is for that file alone: every *other*
+    // storesim module — the simulated-time side — still fires.
+    for other in [
+        "crates/storesim/src/service.rs",
+        "crates/storesim/src/sharded.rs",
+        "crates/storesim/src/cluster.rs",
+    ] {
+        assert_eq!(
+            lines_of(&fired(other, src), "wall-clock").len(),
+            3,
+            "{other} must not inherit rt's wall-clock exemption"
+        );
+    }
 }
 
 #[test]

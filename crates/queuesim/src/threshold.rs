@@ -31,6 +31,26 @@
 //! sweep ([`overhead_thresholds`]) — bit-identical to running a fresh
 //! search per point, without regenerating the draw streams.
 //!
+//! ## Draw precision tiers
+//!
+//! Short searches cache draws at full precision. Past
+//! [`CRN_CACHE_MAX_DRAWS`] (the variance-scaled full-effort heavy-tail
+//! points — millions of draws per replication) the search switches to a
+//! **compressed encoding**: arrival increments and service times are
+//! rounded through `f32` and stored structure-of-arrays at 18 B/draw
+//! ([`PackedDraws`]), cutting the heaviest Fig 2(b)/2(c) points from
+//! ~500 MB to well inside the process budget instead of silently
+//! regenerating every draw at every bisection midpoint. Two invariants
+//! keep this deterministic:
+//!
+//! * the precision tier is a **pure function of the search
+//!   configuration** (run length × replication ceiling) — never of how
+//!   much budget other concurrent searches hold;
+//! * within a tier, caching is best-effort: the streaming fallback
+//!   rounds its draws through the *same* `f32` squash, so cached and
+//!   streamed evaluations stay bit-identical (the tests force both
+//!   paths and compare thresholds bitwise).
+//!
 //! ## Parallelism and determinism
 //!
 //! Replications are independent and run on a [`Runner`] (all public entry
@@ -44,28 +64,35 @@ use simcore::rng::{Rng, SplitMix64};
 use simcore::runner::Runner;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Above this many cached draws per search (run length × the replication
-/// ceiling, 32 bytes each — ~100 MB) the CRN cache stops storing draws
-/// and regenerates them per evaluation instead (identical arithmetic,
-/// bounded memory). Heavy-tailed full-effort runs scale to millions of
-/// requests per replication; caching those would cost GBs per concurrent
-/// threshold search.
+/// Above this many draws per search (run length × the replication
+/// ceiling, 32 bytes each at full precision — ~100 MB) the search
+/// switches from full-precision [`Draw`] storage to the compressed
+/// [`PackedDraws`] encoding. The boundary is a pure function of the
+/// search configuration, so a given configuration always computes with
+/// the same precision regardless of what else is running.
 const CRN_CACHE_MAX_DRAWS: usize = 3_200_000;
 
-/// Process-wide ceiling on simultaneously materialized CRN draws
-/// (~512 MB at 32 B/draw): the Fig 2/3 family sweeps run up to
+/// Per-search ceiling in the compressed tier (18 B/draw — ~430 MB).
+/// The variance-scaled full-effort Fig 2(b)/2(c) heavy points need
+/// ~15.8 M draws (~285 MB packed), comfortably inside; past this the
+/// cache streams (still squashed through `f32`, so bits don't change).
+const CRN_CACHE_MAX_PACKED_DRAWS: usize = 24_000_000;
+
+/// Process-wide ceiling on simultaneously materialized CRN draw
+/// **bytes** (~512 MB): the Fig 2/3 family sweeps run up to
 /// thread-count searches concurrently, so a per-search bound alone would
 /// scale resident memory with cores. Searches that cannot reserve budget
-/// stream their draws instead — results are identical either way.
-const CRN_CACHE_GLOBAL_BUDGET_DRAWS: usize = 16_000_000;
-static CRN_CACHE_RESERVED_DRAWS: AtomicUsize = AtomicUsize::new(0);
+/// stream their draws instead — results are identical either way,
+/// because the budget never influences the precision tier.
+const CRN_CACHE_GLOBAL_BUDGET_BYTES: usize = 512 << 20;
+static CRN_CACHE_RESERVED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
-/// Reserves `n` draws from the process-wide budget; `false` when the
+/// Reserves `n` bytes from the process-wide budget; `false` when the
 /// budget is exhausted (caller streams instead).
-fn try_reserve_draws(n: usize) -> bool {
-    CRN_CACHE_RESERVED_DRAWS
+fn try_reserve_bytes(n: usize) -> bool {
+    CRN_CACHE_RESERVED_BYTES
         .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
-            (cur + n <= CRN_CACHE_GLOBAL_BUDGET_DRAWS).then_some(cur + n)
+            (cur + n <= CRN_CACHE_GLOBAL_BUDGET_BYTES).then_some(cur + n)
         })
         .is_ok()
 }
@@ -158,6 +185,73 @@ struct Draw {
     place_pair: [u16; 2],
 }
 
+/// The draw precision a search computes with — a pure function of the
+/// search configuration (see [`CrnCache::new`]), so that concurrent
+/// budget pressure can change *speed* but never *bits*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DrawPrecision {
+    /// Full-precision draws, stored as [`Draw`] (32 B each).
+    Full,
+    /// Compressed: every float rounded through `f32`, stored
+    /// structure-of-arrays in [`PackedDraws`] (18 B per draw).
+    Packed,
+}
+
+/// Rounds a draw's floats through `f32` — the compressed tier's only
+/// arithmetic change. Applied identically on the cached path (by
+/// storage) and the streaming path (explicitly), so the two agree
+/// bitwise within the tier.
+fn squash(d: Draw) -> Draw {
+    Draw {
+        arrival: d.arrival as f32 as f64,
+        svc: [d.svc[0] as f32 as f64, d.svc[1] as f32 as f64],
+        ..d
+    }
+}
+
+/// One replication's draw stream in the compressed encoding:
+/// structure-of-arrays `f32`/`u16` columns, 18 bytes per draw vs the 32
+/// of `Vec<Draw>` — the full-effort heavy-tail points fit the process
+/// budget in this form.
+struct PackedDraws {
+    arrival: Vec<f32>,
+    svc: Vec<[f32; 2]>,
+    place_single: Vec<u16>,
+    place_pair: Vec<[u16; 2]>,
+}
+
+impl PackedDraws {
+    /// Bytes a draw occupies in this encoding (4 + 8 + 2 + 4).
+    const BYTES_PER_DRAW: usize = 18;
+
+    fn with_capacity(n: usize) -> Self {
+        PackedDraws {
+            arrival: Vec::with_capacity(n),
+            svc: Vec::with_capacity(n),
+            place_single: Vec::with_capacity(n),
+            place_pair: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, d: Draw) {
+        self.arrival.push(d.arrival as f32);
+        self.svc.push([d.svc[0] as f32, d.svc[1] as f32]);
+        self.place_single.push(d.place_single);
+        self.place_pair.push(d.place_pair);
+    }
+
+    /// Widens draw `i` back to the working representation. `f32 → f64`
+    /// is exact, so this equals [`squash`] of the original draw.
+    fn get(&self, i: usize) -> Draw {
+        Draw {
+            arrival: f64::from(self.arrival[i]),
+            svc: [f64::from(self.svc[i][0]), f64::from(self.svc[i][1])],
+            place_single: self.place_single[i],
+            place_pair: self.place_pair[i],
+        }
+    }
+}
+
 /// Generates the draw stream for one replication. Mirrors the draw order
 /// of [`crate::model::run`]: a sequential arrival stream plus per-request
 /// substreams keyed on `(salt, request index)`, with the k = 1 placement
@@ -219,18 +313,23 @@ struct CrnCache<'a, D: ?Sized> {
     /// Per-replication seeds, forked from the base seed upfront so a
     /// replication's stream is a pure function of its index.
     seeds: Vec<u64>,
-    /// Materialized draw streams (grown lazily, in replication order).
-    /// Empty forever when the run length exceeds the cache bound.
+    /// The precision tier — fixed at construction from the configuration
+    /// alone (never from budget state).
+    precision: DrawPrecision,
+    /// Materialized full-precision streams (grown lazily, in replication
+    /// order). Used only in the [`DrawPrecision::Full`] tier.
     cached: Vec<Vec<Draw>>,
+    /// Materialized compressed streams ([`DrawPrecision::Packed`] tier).
+    packed: Vec<PackedDraws>,
     cacheable: bool,
-    /// Draws reserved from the process-wide budget (released on drop).
-    reserved: usize,
+    /// Bytes reserved from the process-wide budget (released on drop).
+    reserved_bytes: usize,
 }
 
 impl<D: ?Sized> Drop for CrnCache<'_, D> {
     fn drop(&mut self) {
-        if self.reserved > 0 {
-            CRN_CACHE_RESERVED_DRAWS.fetch_sub(self.reserved, Ordering::Relaxed);
+        if self.reserved_bytes > 0 {
+            CRN_CACHE_RESERVED_BYTES.fetch_sub(self.reserved_bytes, Ordering::Relaxed);
         }
     }
 }
@@ -252,7 +351,22 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
             .map(|r| root.fork(r as u64).next_u64())
             .collect();
         let needed = total.saturating_mul(max_replications);
-        let cacheable = needed <= CRN_CACHE_MAX_DRAWS && try_reserve_draws(needed);
+        // The tier is decided by `needed` alone: a configuration that
+        // outgrows full-precision storage computes in the compressed
+        // encoding whether or not its draws end up cached.
+        let precision = if needed <= CRN_CACHE_MAX_DRAWS {
+            DrawPrecision::Full
+        } else {
+            DrawPrecision::Packed
+        };
+        let (fits, bytes) = match precision {
+            DrawPrecision::Full => (true, needed.saturating_mul(std::mem::size_of::<Draw>())),
+            DrawPrecision::Packed => (
+                needed <= CRN_CACHE_MAX_PACKED_DRAWS,
+                needed.saturating_mul(PackedDraws::BYTES_PER_DRAW),
+            ),
+        };
+        let cacheable = fits && try_reserve_bytes(bytes);
         CrnCache {
             dist,
             servers: opts.servers,
@@ -261,28 +375,52 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
             mean_service: dist.mean(),
             max_replications,
             seeds,
+            precision,
             cached: Vec::new(),
+            packed: Vec::new(),
             cacheable,
-            reserved: if cacheable { needed } else { 0 },
+            reserved_bytes: if cacheable { bytes } else { 0 },
         }
     }
 
     /// Materializes draw streams for replications `0..reps` (no-op when
-    /// already present or when the run is too long to cache).
+    /// already present or when this search streams instead of caching).
     fn ensure(&mut self, reps: usize, runner: &Runner) {
-        if !self.cacheable || self.cached.len() >= reps {
+        if !self.cacheable {
             return;
         }
-        let have = self.cached.len();
         let dist = self.dist;
         let servers = self.servers;
         let total = self.total;
         let seeds = &self.seeds;
-        let new = runner.run(reps - have, |j| {
-            let mut gen = DrawGen::new(dist, servers, seeds[have + j]);
-            (0..total).map(|_| gen.next()).collect::<Vec<Draw>>()
-        });
-        self.cached.extend(new);
+        match self.precision {
+            DrawPrecision::Full => {
+                let have = self.cached.len();
+                if have >= reps {
+                    return;
+                }
+                let new = runner.run(reps - have, |j| {
+                    let mut gen = DrawGen::new(dist, servers, seeds[have + j]);
+                    (0..total).map(|_| gen.next()).collect::<Vec<Draw>>()
+                });
+                self.cached.extend(new);
+            }
+            DrawPrecision::Packed => {
+                let have = self.packed.len();
+                if have >= reps {
+                    return;
+                }
+                let new = runner.run(reps - have, |j| {
+                    let mut gen = DrawGen::new(dist, servers, seeds[have + j]);
+                    let mut p = PackedDraws::with_capacity(total);
+                    for _ in 0..total {
+                        p.push(gen.next());
+                    }
+                    p
+                });
+                self.packed.extend(new);
+            }
+        }
     }
 
     /// Runs the paired k = 1 / k = 2 queues over replication `r`'s draws at
@@ -293,15 +431,32 @@ impl<'a, D: Distribution + ?Sized> CrnCache<'a, D> {
     /// it.
     fn paired_diff(&self, r: usize, rho: f64, overhead: f64) -> f64 {
         let lambda = self.servers as f64 * rho / self.mean_service;
-        if self.cacheable {
-            let draws = &self.cached[r];
-            let mut it = draws.iter();
-            self.paired_pass(lambda, overhead, move || {
-                *it.next().expect("draw stream exhausted")
-            })
-        } else {
-            let mut gen = DrawGen::new(self.dist, self.servers, self.seeds[r]);
-            self.paired_pass(lambda, overhead, move || gen.next())
+        match (self.cacheable, self.precision) {
+            (true, DrawPrecision::Full) => {
+                let mut it = self.cached[r].iter();
+                self.paired_pass(lambda, overhead, move || {
+                    *it.next().expect("draw stream exhausted")
+                })
+            }
+            (true, DrawPrecision::Packed) => {
+                let p = &self.packed[r];
+                let mut i = 0usize;
+                self.paired_pass(lambda, overhead, move || {
+                    let d = p.get(i);
+                    i += 1;
+                    d
+                })
+            }
+            (false, DrawPrecision::Full) => {
+                let mut gen = DrawGen::new(self.dist, self.servers, self.seeds[r]);
+                self.paired_pass(lambda, overhead, move || gen.next())
+            }
+            // Streaming in the compressed tier rounds through the same
+            // squash the cache stores, keeping both paths bit-identical.
+            (false, DrawPrecision::Packed) => {
+                let mut gen = DrawGen::new(self.dist, self.servers, self.seeds[r]);
+                self.paired_pass(lambda, overhead, move || squash(gen.next()))
+            }
         }
     }
 
@@ -628,6 +783,97 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A configuration that lands in the compressed tier while keeping
+    /// test runtime small: the tier is decided by run length × the
+    /// replication *ceiling*, so a tall ceiling forces `Packed` without
+    /// ever materializing more than a couple of replications.
+    fn packed_tier_opts() -> ThresholdOptions {
+        let mut opts = ThresholdOptions::fast();
+        opts.requests = 25_000;
+        opts.warmup = 3_000;
+        opts.scale_with_variance = false; // total = 28_000 exactly
+        opts.replications = 2;
+        opts.max_replications = 128; // 28_000 × 128 = 3.584 M > CRN_CACHE_MAX_DRAWS
+        opts.tolerance = 0.05;
+        opts
+    }
+
+    #[test]
+    fn packed_and_streamed_draws_agree_bitwise() {
+        // The compressed tier's memory-bounded fallback must match its
+        // cached path bit for bit — both round draws through the same
+        // f32 squash, one at storage time, one at generation time.
+        let opts = packed_tier_opts();
+        let dist = Exponential::unit();
+        let mut cached = CrnCache::new(&dist, &opts);
+        assert_eq!(cached.precision, DrawPrecision::Packed);
+        assert!(cached.cacheable, "packed tier should fit the budget");
+        cached.ensure(2, &Runner::serial());
+        assert_eq!(cached.packed.len(), 2);
+        assert!(cached.cached.is_empty(), "full-precision store unused");
+        let mut streamed = CrnCache::new(&dist, &opts);
+        streamed.cacheable = false;
+        for r in 0..2 {
+            for rho in [0.1, 0.3, 0.45] {
+                assert_eq!(
+                    cached.paired_diff(r, rho, 0.0).to_bits(),
+                    streamed.paired_diff(r, rho, 0.0).to_bits(),
+                    "r={r} rho={rho}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_threshold_bit_identical_cached_vs_streamed() {
+        // The whole bisection, compressed-cached vs forced-streaming:
+        // the threshold a full-effort heavy point reports cannot depend
+        // on whether its draws were materialized.
+        let opts = packed_tier_opts();
+        let dist = Exponential::unit();
+        let runner = Runner::serial();
+        let mut cached = CrnCache::new(&dist, &opts);
+        assert_eq!(cached.precision, DrawPrecision::Packed);
+        let thr_cached = bisect(&mut cached, 0.0, &opts, &runner);
+        assert!(!cached.packed.is_empty(), "bisection used the cache");
+        let mut streamed = CrnCache::new(&dist, &opts);
+        streamed.cacheable = false;
+        let thr_streamed = bisect(&mut streamed, 0.0, &opts, &runner);
+        assert_eq!(thr_cached.to_bits(), thr_streamed.to_bits());
+        // And the compressed tier still lands on the right physics.
+        assert!(
+            (thr_cached - 1.0 / 3.0).abs() < 0.06,
+            "packed-tier exponential threshold {thr_cached} strayed from 1/3"
+        );
+    }
+
+    #[test]
+    fn full_effort_heavy_point_fits_the_cache_budget() {
+        // The carried-over defect: at default (full-effort) options a
+        // heavy-tailed Fig 2(b) point scales to 1.32 M requests × 12
+        // replications = 15.84 M draws, which overflowed the old 3.2 M
+        // full-precision bound and silently streamed every bisection
+        // midpoint. Compressed, it reserves ~285 MB and caches. (No
+        // draws are materialized here — construction only.)
+        let opts = ThresholdOptions::default();
+        let dist = Pareto::unit_mean_inverse_scale(0.98); // fig2b's heaviest axis point
+        let cache = CrnCache::new(&dist, &opts);
+        assert_eq!(
+            cache.total * cache.max_replications,
+            15_840_000,
+            "full-effort heavy point draw count moved; re-check the tier caps"
+        );
+        assert_eq!(cache.precision, DrawPrecision::Packed);
+        assert!(
+            cache.cacheable,
+            "full-effort heavy point must fit the compressed budget"
+        );
+        assert_eq!(
+            cache.reserved_bytes,
+            15_840_000 * PackedDraws::BYTES_PER_DRAW
+        );
     }
 
     #[test]

@@ -384,6 +384,16 @@ impl Pareto {
     /// The Figure 2(b) parameterization: unit-mean Pareto with tail index
     /// `α = 1 + 1/β` for `β ∈ (0, 1)`. `β → 0` is nearly deterministic;
     /// `β → 1` approaches `α = 2`, where the variance blows up.
+    ///
+    /// This is the only mapping consistent with the figure's behaviour at
+    /// both ends of its axis: the threshold must fall toward the
+    /// deterministic ~0.26 as `β → 0` (so `α` must diverge there, ruling
+    /// out `α = 1 + β`) and climb toward the 50 % ceiling as `β → 1`
+    /// (finite mean, exploding variance — exactly `α → 2`). A direct
+    /// check against the paper's axis label is still outstanding: only
+    /// the abstract is on file (see PAPERS.md), and
+    /// `pareto_inverse_scale_axis_endpoints` pins the mapping so any
+    /// future correction is a deliberate, test-visible change.
     pub fn unit_mean_inverse_scale(beta: f64) -> Self {
         assert!(beta > 0.0 && beta < 1.0, "Pareto inverse scale {beta}");
         Pareto::unit_mean(1.0 + 1.0 / beta)
@@ -1034,6 +1044,23 @@ mod tests {
         // Unit-mean Pareto(alpha): Var = 1/(alpha(alpha-2)).
         let v = Pareto::unit_mean(2.1).variance();
         assert!((v - 1.0 / (2.1 * 0.1)).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn pareto_inverse_scale_axis_endpoints() {
+        // Pins the Fig 2(b) axis mapping α = 1 + 1/β (see the method docs
+        // for why no other mapping fits the figure's endpoints). Changing
+        // the mapping must break this test, re-pin the headline band in
+        // scripts/check_headlines.sh, and update EXPERIMENTS.md §2.1.
+        for (beta, alpha) in [(0.1, 11.0), (0.5, 3.0), (0.9, 1.0 + 1.0 / 0.9), (0.98, 1.0 + 1.0 / 0.98)] {
+            let d = Pareto::unit_mean_inverse_scale(beta);
+            assert!((d.alpha() - alpha).abs() < 1e-12, "beta={beta}: {}", d.alpha());
+            assert!((d.mean() - 1.0).abs() < 1e-12, "beta={beta} mean {}", d.mean());
+        }
+        // β → 0: tail index diverges, variance vanishes (deterministic
+        // limit). β → 1: α → 2 from above, variance diverges.
+        assert!(Pareto::unit_mean_inverse_scale(0.05).scv() < 0.01);
+        assert!(Pareto::unit_mean_inverse_scale(0.99).scv() > 20.0);
     }
 
     #[test]

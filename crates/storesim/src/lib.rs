@@ -28,6 +28,10 @@
 //!   sharded parallel engine (one shard per server group plus a frontend
 //!   shard), unlocking hundred-server, million-request ramps with
 //!   bit-identical output at any thread count;
+//! * [`rt`] — the **wall-clock** twin of [`service`]: real worker threads
+//!   serving scripted requests over channels, live per-request planner
+//!   decisions, and first-response cancellation racing actual execution —
+//!   the decision trace stays deterministic, only latencies are real;
 //! * [`experiments`] — one named configuration per figure (5 through 13),
 //!   plus the service-layer load-ramp experiment.
 //!
@@ -45,6 +49,7 @@ pub mod experiments;
 pub mod hashring;
 pub mod lru;
 pub mod memcached;
+pub mod rt;
 pub mod service;
 pub mod sharded;
 

@@ -35,8 +35,11 @@ check "fig2a: gamma=10 threshold >= 0.45" fig2a.txt \
   'if ($1 == "10.00000" && $2 >= 0.45) ok = 1'
 
 # Fig 2(b): heavier Pareto tails raise the threshold above 1/3 - noise.
-check "fig2b: beta=0.9 threshold in [0.32, 0.45]" fig2b.txt \
-  'if ($1 == "0.90000" && $2 >= 0.32 && $2 <= 0.45) ok = 1'
+# Axis mapping alpha = 1 + 1/beta re-verified against the figure's endpoint
+# behaviour (pinned by pareto_inverse_scale_axis_endpoints in simcore);
+# band tightened around the recorded quick-mode value 0.36238.
+check "fig2b: beta=0.9 threshold in [0.33, 0.42]" fig2b.txt \
+  'if ($1 == "0.90000" && $2 >= 0.33 && $2 <= 0.42) ok = 1'
 
 # Fig 2(c): the deterministic worst case at p=0.
 check "fig2c: p=0 threshold in [0.22, 0.31]" fig2c.txt \
