@@ -69,6 +69,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig-service-ps-est",
     "fig-service-scale",
     "fig-service-frontier",
+    "fig-service-elastic",
     "fig14a",
     "fig14b",
     "fig14c",
@@ -110,6 +111,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> String {
         "fig-service-ps-est" => store::fig_service_ps_est(effort),
         "fig-service-scale" => store::fig_service_scale(effort),
         "fig-service-frontier" => store::fig_service_frontier(effort),
+        "fig-service-elastic" => store::fig_service_elastic(effort),
         "fig14a" => network::fig14a(effort),
         "fig14b" => network::fig14b(effort),
         "fig14c" => network::fig14c(effort),

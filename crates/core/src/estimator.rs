@@ -202,8 +202,15 @@ impl RateEstimator {
     /// `rate · E[S] / servers` — the ρ axis every threshold in the paper
     /// is defined against (what the load *would* be at k = 1, regardless
     /// of how many copies are actually being issued).
+    ///
+    /// A degenerate cluster (`servers == 0`) or a non-positive mean
+    /// service time describes zero serviceable load, so both return 0.0
+    /// — previously these were only `debug_assert`ed, which let release
+    /// builds hand `inf`/NaN to the planner during topology churn.
     pub fn utilization(&self, mean_service: f64, servers: usize) -> f64 {
-        debug_assert!(mean_service > 0.0 && servers > 0);
+        if servers == 0 || mean_service.is_nan() || mean_service <= 0.0 {
+            return 0.0;
+        }
         self.rate() * mean_service / servers as f64
     }
 }
@@ -317,9 +324,28 @@ impl EstimatorBank {
     /// counting actually-dispatched copies, is independent of the current
     /// replication decision (no feedback loop between the decision and the
     /// estimate it reads).
+    ///
+    /// Like [`RateEstimator::utilization`], a zero `split` or a
+    /// non-positive `mean_service` describes zero serviceable load and
+    /// returns 0.0 rather than `inf`/NaN.
     pub fn utilization(&self, idx: usize, mean_service: f64, split: usize) -> f64 {
-        debug_assert!(mean_service > 0.0 && split > 0);
+        if split == 0 || mean_service.is_nan() || mean_service <= 0.0 {
+            return 0.0;
+        }
         self.rate(idx) * mean_service / split as f64
+    }
+
+    /// Grows the bank to `n` indices, appending cold estimators with the
+    /// bank's configured window. Existing indices are untouched — a
+    /// scale-out must not disturb the surviving servers' windows. No-op
+    /// when the bank already holds `n` or more indices (banks never
+    /// shrink: on scale-in the departed indices are [`reset`](Self::reset)
+    /// and left dormant, so a later re-add starts cold).
+    pub fn grow_to(&mut self, n: usize) {
+        let window = self.window();
+        while self.estimators.len() < n {
+            self.estimators.push(RateEstimator::new(window));
+        }
     }
 }
 
@@ -406,15 +432,29 @@ impl PeerLoads {
         self.summaries.len()
     }
 
+    /// Widens the board to `indices` rates per peer (no-op when already
+    /// at least that wide). Summaries on file keep their original width
+    /// — they are simply short for the new indices until the peer's
+    /// next broadcast — so a scale-out never invalidates what was heard.
+    pub fn grow_to(&mut self, indices: usize) {
+        self.indices = self.indices.max(indices);
+    }
+
     /// Stores the latest summary from `peer`, replacing any previous one.
     ///
+    /// A summary *narrower* than the board is accepted: during elastic
+    /// scale-out a peer's bank may lag a topology change by one exchange
+    /// period, and its stale-width rates are still the best estimate for
+    /// the indices it does carry (the missing tail reads as zero). A
+    /// summary *wider* than the board still panics — that is a protocol
+    /// error, not a lag.
+    ///
     /// # Panics
-    /// Panics on an out-of-range peer or a summary of the wrong width.
+    /// Panics on an out-of-range peer or a summary wider than the board.
     pub fn apply(&mut self, peer: usize, summary: LoadSummary) {
-        assert_eq!(
-            summary.len(),
-            self.indices,
-            "summary width mismatch: got {}, expected {}",
+        assert!(
+            summary.len() <= self.indices,
+            "summary width mismatch: got {}, expected at most {}",
             summary.len(),
             self.indices
         );
@@ -422,12 +462,14 @@ impl PeerLoads {
     }
 
     /// Sum of the peers' last-reported rates for index `idx` (peers not
-    /// heard from contribute zero).
+    /// heard from — or whose last summary predates that index existing —
+    /// contribute zero).
     pub fn peer_rate(&self, idx: usize) -> f64 {
         debug_assert!(idx < self.indices);
         self.summaries
             .iter()
             .flatten()
+            .filter(|s| idx < s.len())
             .map(|s| s.rate(idx))
             .sum()
     }
@@ -924,9 +966,108 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "width mismatch")]
-    fn peer_board_rejects_wrong_width() {
-        let mut peers = PeerLoads::new(2, 3);
-        peers.apply(0, LoadSummary::global(1.0));
+    fn peer_board_rejects_too_wide_summary() {
+        // Narrower summaries are tolerated (a peer lagging a scale-out),
+        // but wider-than-board is a protocol error and still panics.
+        let mut peers = PeerLoads::new(2, 2);
+        peers.apply(0, LoadSummary::per_index(vec![1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn peer_board_tolerates_stale_width_during_churn() {
+        // A 2-index board hears a width-2 summary, then the cluster
+        // scales out to 4 indices: the stale summary keeps contributing
+        // its known rates, and the indices it predates read as zero.
+        let mut peers = PeerLoads::new(2, 2);
+        peers.apply(0, LoadSummary::per_index(vec![3.0, 1.0]));
+        peers.grow_to(4);
+        assert!((peers.peer_rate(0) - 3.0).abs() < 1e-12);
+        assert!((peers.peer_rate(1) - 1.0).abs() < 1e-12);
+        assert_eq!(peers.peer_rate(2), 0.0);
+        assert_eq!(peers.peer_rate(3), 0.0);
+        // The peer's next broadcast carries the full width and lands.
+        peers.apply(0, LoadSummary::per_index(vec![3.0, 1.0, 0.5, 0.25]));
+        assert!((peers.peer_rate(2) - 0.5).abs() < 1e-12);
+        // grow_to never narrows.
+        peers.grow_to(1);
+        assert!((peers.peer_rate(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_guards_degenerate_inputs() {
+        // Promoted from debug_assert: a zero-server cluster or a
+        // non-positive mean service time must read as zero load in every
+        // build profile, never inf/NaN handed to the planner.
+        let mut est = RateEstimator::new(4);
+        for i in 0..8 {
+            est.observe_arrival(i as f64 * 0.25);
+        }
+        assert!(est.rate() > 0.0);
+        assert_eq!(est.utilization(1.0, 0), 0.0);
+        assert_eq!(est.utilization(0.0, 4), 0.0);
+        assert_eq!(est.utilization(-1.0, 4), 0.0);
+        assert_eq!(est.utilization(f64::NAN, 4), 0.0);
+        assert!(est.utilization(1.0, 4).is_finite());
+
+        let mut bank = EstimatorBank::new(2, 4);
+        for i in 0..8 {
+            bank.observe_arrival(1, i as f64 * 0.5);
+        }
+        assert_eq!(bank.utilization(1, 1.0, 0), 0.0);
+        assert_eq!(bank.utilization(1, 0.0, 2), 0.0);
+        assert_eq!(bank.utilization(1, f64::NAN, 2), 0.0);
+        assert!(bank.utilization(1, 1.0, 2) > 0.0);
+    }
+
+    #[test]
+    fn bank_survives_topology_churn() {
+        // The elastic contract: growth appends cold estimators, removal
+        // resets exactly the departed index, and surviving indices carry
+        // bitwise-identical state through both events.
+        let window = 8;
+        let mut bank = EstimatorBank::new(2, window);
+        let mut control = EstimatorBank::new(2, window);
+        for i in 0..12 {
+            bank.observe_arrival(0, i as f64 * 0.125);
+            control.observe_arrival(0, i as f64 * 0.125);
+            bank.observe_arrival(1, i as f64 * 0.5);
+            control.observe_arrival(1, i as f64 * 0.5);
+        }
+        // Scale out 2 -> 4: new indices cold, with the bank's window.
+        bank.grow_to(4);
+        assert_eq!(bank.len(), 4);
+        assert_eq!(bank.window(), window);
+        assert!(bank.get(2).is_empty() && bank.get(3).is_empty());
+        assert_eq!(bank.rate(2), 0.0);
+        assert_eq!(
+            bank.rate(0).to_bits(),
+            control.rate(0).to_bits(),
+            "growth disturbed a surviving index"
+        );
+        // grow_to is monotone: shrinking requests are no-ops.
+        bank.grow_to(1);
+        assert_eq!(bank.len(), 4);
+        // Feed the new indices, then "remove" one server (reset index 3).
+        for i in 0..12 {
+            bank.observe_arrival(2, i as f64 * 0.25);
+            bank.observe_arrival(3, 100.0 + i as f64);
+        }
+        bank.reset(3);
+        assert!(bank.get(3).is_empty(), "departed index must go cold");
+        // No cross-contamination mid-migration: indices fed identically
+        // to the control (which never churned) still agree bitwise.
+        for i in 12..20 {
+            bank.observe_arrival(0, i as f64 * 0.125);
+            control.observe_arrival(0, i as f64 * 0.125);
+        }
+        assert_eq!(bank.rate(0).to_bits(), control.rate(0).to_bits());
+        assert_eq!(bank.rate(1).to_bits(), control.rate(1).to_bits());
+        assert!((bank.rate(2) - 4.0).abs() < 1e-12, "survivor lost its window");
+        // A re-added server starts cold and warms like a fresh one.
+        bank.observe_arrival(3, 200.0);
+        assert!(bank.get(3).is_empty());
+        // Summaries carry the grown width.
+        assert_eq!(bank.summary().len(), 4);
     }
 
     #[test]

@@ -176,6 +176,49 @@ pub enum Frontend {
     },
 }
 
+/// Elastic autoscaling policy: a controller on frontend lane 0
+/// periodically reads the cluster-wide utilization estimate (the same
+/// estimator stack the adaptive planner consults) and grows or shrinks
+/// the fleet by whole steps between `ServiceConfig::servers` (the floor)
+/// and [`Autoscale::max_servers`]. Servers join and leave the hash ring
+/// in LIFO index order ([`crate::HashRing::add_server`] /
+/// [`crate::HashRing::remove_server`]), shards whose ownership moved are
+/// dual-dispatched to old and new owners for [`Autoscale::migration`]
+/// seconds, and the per-server [`redundancy::estimator::EstimatorBank`]
+/// grows/resets per-index on each change. Only the sharded runner
+/// ([`crate::sharded::run_sharded`]) supports autoscaling; the
+/// sequential [`run`] rejects it.
+///
+/// With autoscaling on, the arrival curve is no longer the linear
+/// `load_start → load_end` ramp: request `i` offers a *diurnal* cluster
+/// load `load_start + (peak_load − load_start)·sin(π·frac)` relative to
+/// the configured baseline fleet, rising to `peak_load` (which may
+/// exceed 1 — the whole point is that the fleet grows to absorb it) and
+/// falling back. `load_start`/`load_end` then serve as the axis of the
+/// reported buckets, which bin by *instantaneous per-live-server* load —
+/// the ρ the planner's switch-off must track.
+#[derive(Clone, Copy, Debug)]
+pub struct Autoscale {
+    /// Fleet ceiling (the floor is `ServiceConfig::servers`).
+    pub max_servers: usize,
+    /// Servers added or removed per scaling decision.
+    pub step: usize,
+    /// Scale out when estimated per-live-server utilization exceeds this.
+    pub scale_out: f64,
+    /// Scale in when it drops below this (hysteresis: `< scale_out`).
+    pub scale_in: f64,
+    /// Controller evaluation period, seconds (floored at the propagation
+    /// delay — topology broadcasts travel on cross-shard wires).
+    pub period: f64,
+    /// Dual-dispatch window after each topology change, seconds:
+    /// requests landing on a shard whose owners moved are sent to both
+    /// old and new owners until the window closes.
+    pub migration: f64,
+    /// Peak of the diurnal cluster-load curve, relative to the baseline
+    /// fleet of `ServiceConfig::servers` (may exceed 1).
+    pub peak_load: f64,
+}
+
 /// Full configuration of one service run.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -236,6 +279,9 @@ pub struct ServiceConfig {
     pub requests: usize,
     /// Warm-up requests (run at `load_start`).
     pub warmup: usize,
+    /// Elastic autoscaling policy (`None` = the fixed fleet every other
+    /// experiment runs; see [`Autoscale`] for what turning it on changes).
+    pub autoscale: Option<Autoscale>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -270,6 +316,7 @@ impl ServiceConfig {
             buckets: 22,
             requests: 120_000,
             warmup: 12_000,
+            autoscale: None,
             seed: 0x5E81CE,
         }
     }
@@ -292,6 +339,26 @@ impl ServiceConfig {
         } else {
             let frac = (i - self.warmup) as f64 / (self.requests - 1) as f64;
             self.load_start + (self.load_end - self.load_start) * frac
+        }
+    }
+
+    /// Offered *cluster* load of request `i` relative to the baseline
+    /// fleet of `servers`: the linear ramp without autoscaling, the
+    /// diurnal half-sine (rising to [`Autoscale::peak_load`] and back to
+    /// `load_start`) with it. This drives arrival pacing; per-live-server
+    /// load is this times `servers / live_servers`.
+    pub(crate) fn offered_cluster(&self, i: usize) -> f64 {
+        match &self.autoscale {
+            None => self.offered(i),
+            Some(a) => {
+                if i < self.warmup || self.requests <= 1 {
+                    self.load_start
+                } else {
+                    let frac = (i - self.warmup) as f64 / (self.requests - 1) as f64;
+                    self.load_start
+                        + (a.peak_load - self.load_start) * (std::f64::consts::PI * frac).sin()
+                }
+            }
         }
     }
 }
@@ -730,6 +797,52 @@ pub(crate) fn validate_config(cfg: &ServiceConfig) {
             "more frontend lanes than requests"
         );
     }
+    if let Some(a) = &cfg.autoscale {
+        assert!(
+            matches!(cfg.frontend, Frontend::Adaptive { .. }),
+            "autoscaling needs the adaptive frontend (the controller reads \
+             the same utilization estimate the planner does)"
+        );
+        assert!(
+            a.max_servers >= cfg.servers,
+            "autoscale ceiling {} below the baseline fleet {}",
+            a.max_servers,
+            cfg.servers
+        );
+        assert!(a.max_servers <= u16::MAX as usize, "too many servers");
+        assert!(a.step >= 1, "autoscale step must be >= 1");
+        assert!(
+            a.scale_in > 0.0 && a.scale_in < a.scale_out && a.scale_out < 1.0,
+            "autoscale thresholds need 0 < scale_in < scale_out < 1 \
+             (got {} / {})",
+            a.scale_in,
+            a.scale_out
+        );
+        assert!(
+            a.period > 0.0 && a.period.is_finite(),
+            "autoscale period must be positive and finite"
+        );
+        assert!(
+            a.migration >= 0.0 && a.migration.is_finite(),
+            "migration window must be finite and non-negative"
+        );
+        assert!(
+            a.peak_load >= cfg.load_start && a.peak_load.is_finite(),
+            "diurnal peak below the starting load"
+        );
+        // The peak must be absorbable: at the full fleet it has to sit at
+        // or below the scale-out trigger, or the controller would pin the
+        // ceiling while per-server load keeps climbing toward saturation.
+        assert!(
+            a.peak_load * cfg.servers as f64 / a.max_servers as f64 <= a.scale_out,
+            "diurnal peak saturates even the full fleet: \
+             peak {} x {} / {} servers > scale_out {}",
+            a.peak_load,
+            cfg.servers,
+            a.max_servers,
+            a.scale_out
+        );
+    }
 }
 
 /// Runs the service simulation.
@@ -753,6 +866,10 @@ pub fn run(cfg: &ServiceConfig) -> ServiceResult {
         cfg.frontend_lanes == 1,
         "the sequential runner supports a single frontend lane; \
          use run_sharded for frontend_lanes > 1"
+    );
+    assert!(
+        cfg.autoscale.is_none(),
+        "the sequential runner does not autoscale; use run_sharded"
     );
 
     let mean_service = cfg.service.mean();

@@ -63,6 +63,29 @@
 //! cross-shard coupling the partition removes) and reports NaN;
 //! run-level `mean_utilization` is still exact, folded from per-server
 //! busy totals after the engine drains.
+//!
+//! ## Elastic scaling
+//!
+//! With [`ServiceConfig::autoscale`] set, the fleet resizes mid-run: an
+//! autoscale controller on lane 0 wakes on a periodic `ScaleTick`,
+//! compares the cluster-wide utilization estimate (the same
+//! estimator-plus-peer-summary stack the planner reads) against the
+//! hysteresis band, and broadcasts `Topology` events that every lane —
+//! itself included — applies **at the same simulated instant**, one
+//! propagation delay after the decision. Each lane keeps its own
+//! [`HashRing`] clone and applies identical deterministic `add_server` /
+//! `remove_server` sequences, so the rings never diverge; requests
+//! landing on a shard whose owners moved are dual-dispatched to the old
+//! *and* new owners for the configured migration window; and the
+//! per-server [`EstimatorBank`] grows/resets per churned index. All of
+//! it flows through the keyed scheduling API under lane-logical origins,
+//! so elastic runs keep the workspace invariant: bit-identical output at
+//! any thread count and frontend placement. Server slots for the full
+//! [`crate::service::Autoscale::max_servers`] fleet are allocated up front (dormant
+//! servers idle in their groups); `mean_utilization` divides by the
+//! *provisioned* server-time integral `∫ live(t) dt`, and the ramp
+//! buckets bin by **instantaneous per-live-server load**, which is the ρ
+//! axis the planner's switch-off must track through every resize.
 
 use crate::hashring::HashRing;
 use crate::service::{
@@ -115,6 +138,26 @@ enum SEv {
     /// whether the peer is co-located or remote, so placement cannot
     /// reorder it.
     Summary { from: u16, to: u16, rates: LoadSummary },
+    /// The autoscale controller's periodic evaluation timer (lane 0,
+    /// elastic mode only).
+    ScaleTick,
+    /// The fleet resizes to `servers` live servers: broadcast by the
+    /// lane-0 controller to every lane (itself included) with one
+    /// propagation delay, so all rings mutate at the same simulated
+    /// instant. `generation` counts decisions, for sanity checking.
+    Topology { to: u16, generation: u32, servers: u16 },
+}
+
+/// One autoscaler decision that changed the fleet size.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleEvent {
+    /// Simulated time of the decision (the fleet changes one propagation
+    /// delay later).
+    pub at: f64,
+    /// Live servers after the change.
+    pub servers: usize,
+    /// The estimated per-live-server utilization that triggered it.
+    pub rho: f64,
 }
 
 /// Per-request bookkeeping on the owning lane.
@@ -145,6 +188,11 @@ struct Statics {
     hot_shard: Vec<bool>,
     /// Resolved summary-exchange period: `max(summary_period, lookahead)`.
     summary_period: f64,
+    /// `cfg.autoscale.is_some()` — checked on every hot path, so cached.
+    elastic: bool,
+    /// Resolved controller period: `max(autoscale.period, lookahead)`
+    /// (topology broadcasts ride cross-shard wires). 0 when static.
+    scale_period: f64,
 }
 
 /// One frontend lane: a slice of the arrival process, the redundancy
@@ -190,6 +238,35 @@ struct Lane {
     /// tick shutdown so the engine can drain.
     finished: usize,
     summaries_sent: u64,
+    // --- elastic topology state (inert when `st.elastic` is false) ---
+    /// This lane's live ring; every lane applies the same deterministic
+    /// op sequence at the same simulated instants, so the clones never
+    /// diverge. `None` in static mode (the precomputed `stored_tab` is
+    /// the placement there).
+    ring: Option<HashRing>,
+    /// The ring as it was before the latest topology change — consulted
+    /// for dual-dispatch while the migration window is open.
+    ring_prev: Option<HashRing>,
+    /// End of the current dual-dispatch window (simulated seconds).
+    migration_until: f64,
+    /// Live server count (== `cfg.servers` in static mode).
+    live: usize,
+    /// Last applied topology generation.
+    topo_gen: u32,
+    // Controller state (meaningful on lane 0 only):
+    /// Fleet size of the latest announced (possibly not yet applied)
+    /// decision — the size scaling decisions are evaluated against.
+    target_live: usize,
+    /// Topology generations announced by this lane's controller.
+    topo_announced: u32,
+    /// Decisions that changed the fleet, in order.
+    scale_log: Vec<ScaleEvent>,
+    /// `∫ live(t) dt` accumulated at each topology application.
+    cap_integral: f64,
+    /// Time of the last `cap_integral` accrual.
+    cap_last: f64,
+    /// Largest fleet the run reached.
+    peak_live: usize,
 }
 
 impl Lane {
@@ -262,7 +339,10 @@ impl Lane {
         }
         // A request counts as duplicated when a second copy is *actually
         // dispatched* — for hedged policies only when the hedge fires.
-        if from < 2 && to >= 2 && (req as usize) >= self.st.cfg.warmup {
+        // Elastic runs count at decision time in `arrive` instead:
+        // dual-dispatched migration copies are capacity overhead, not a
+        // planner choice, and must not read as k = 2 on the curve.
+        if !self.st.elastic && from < 2 && to >= 2 && (req as usize) >= self.st.cfg.warmup {
             let b = self.bucket_of(self.reqs[slot].offered);
             self.bucket_k2[b] += 1;
             if self.reqs[slot].hot {
@@ -275,7 +355,15 @@ impl Lane {
 
     fn arrive(&mut self, t: f64, req: u32, ctx: &mut ShardCtx<'_, SEv>) {
         let i = req as usize;
-        let offered = self.st.cfg.offered(i);
+        // Static: the configured ramp. Elastic: the diurnal *cluster*
+        // curve rescaled by `baseline / live` — the instantaneous
+        // per-live-server load, which is both the bucket axis and the ρ
+        // the planner's threshold is defined against.
+        let offered = if self.st.elastic {
+            self.st.cfg.offered_cluster(i) * self.st.cfg.servers as f64 / self.live as f64
+        } else {
+            self.st.cfg.offered(i)
+        };
         let k_stored = self.st.cfg.stored_replicas;
 
         let shard = match &self.st.cfg.popularity {
@@ -285,6 +373,17 @@ impl Lane {
             Some(d) => shard_of(d.sample(&mut self.place_rng), self.st.cfg.shards),
         };
         let hot = self.st.hot_shard[shard];
+        // Elastic placement comes from the live ring; static from the
+        // precomputed table (identical to a ring lookup, but flat).
+        // Copied into a stack buffer so no borrow of `self` outlives the
+        // mutable estimator access below.
+        let mut stored_buf = [0u16; MAX_STORED];
+        if let Some(ring) = &self.ring {
+            ring.replicas_into(shard as u64, &mut stored_buf[..k_stored]);
+        } else {
+            stored_buf[..k_stored]
+                .copy_from_slice(&self.st.stored_tab[shard * k_stored..shard * k_stored + k_stored]);
+        }
 
         // Replication decision — same stack as the sequential path, with
         // peer-reported rates folded into the utilization estimates.
@@ -304,8 +403,12 @@ impl Lane {
                         let est = self.estimator.as_mut().expect("adaptive estimator");
                         est.observe_arrival(t);
                         let rho = if est.is_warm() {
+                            // Divide by the *live* fleet, not the
+                            // configured one — the whole point of
+                            // elastic mode is that the threshold tracks
+                            // current capacity (static: live == servers).
                             self.peers.total_rate(0, est.rate()) * live_mean
-                                / self.st.cfg.servers as f64
+                                / self.live as f64
                         } else {
                             self.st.cfg.load_start
                         };
@@ -314,8 +417,8 @@ impl Lane {
                     LoadModel::PerServer => {
                         let bank = self.bank.as_mut().expect("per-server bank");
                         let mut rho_max = 0.0f64;
-                        for idx in 0..k_stored {
-                            let s = self.st.stored_tab[shard * k_stored + idx] as usize;
+                        for &stored_s in &stored_buf[..k_stored] {
+                            let s = stored_s as usize;
                             bank.observe_arrival(s, t);
                             let rho = if bank.get(s).is_warm() {
                                 self.peers.total_rate(s, bank.rate(s)) * live_mean
@@ -337,7 +440,7 @@ impl Lane {
         };
 
         let k = copies.min(k_stored);
-        let stored = &self.st.stored_tab[shard * k_stored..shard * k_stored + k_stored];
+        let stored = &stored_buf[..k_stored];
         let mut targets = [0u16; MAX_STORED];
         if k == k_stored && hedge_after.is_none() {
             targets[..k].copy_from_slice(stored);
@@ -354,11 +457,41 @@ impl Lane {
             }
         }
 
+        let mut tlen = k;
+        if self.st.elastic {
+            // Decision-time k = 2 accounting (see `dispatch`): the curve
+            // reflects the planner's choice, not migration overhead.
+            if k >= 2 && i >= self.st.cfg.warmup {
+                let b = self.bucket_of(offered);
+                self.bucket_k2[b] += 1;
+                if hot {
+                    self.bucket_hot_k2[b] += 1;
+                }
+            }
+            // Dual-dispatch while the shard may still be migrating: the
+            // same number of copies under the *previous* placement, with
+            // owners that moved added as extra targets (capped by the
+            // slot array — with the paper's 2-copy placements the union
+            // always fits).
+            if t < self.migration_until {
+                if let Some(prev) = &self.ring_prev {
+                    let mut old = [0u16; MAX_STORED];
+                    prev.replicas_into(shard as u64, &mut old[..k_stored]);
+                    for &s in &old[..k] {
+                        if !targets[..tlen].contains(&s) && tlen < MAX_STORED {
+                            targets[tlen] = s;
+                            tlen += 1;
+                        }
+                    }
+                }
+            }
+        }
+
         self.reqs.push(ReqSlot {
             arrival: t,
             offered,
             targets,
-            tlen: k as u8,
+            tlen: tlen as u8,
             sent: 0,
             hot,
             done: false,
@@ -385,12 +518,12 @@ impl Lane {
                 );
             }
             None => {
-                self.dispatch(t, req, 0, k, ctx);
+                self.dispatch(t, req, 0, tlen, ctx);
             }
         }
 
         if i + self.st.lanes < self.st.total {
-            let lambda = self.lambda_of(self.st.cfg.offered(i + self.st.lanes));
+            let lambda = self.lambda_of(self.st.cfg.offered_cluster(i + self.st.lanes));
             let gap = self.arrival_rng.exponential(lambda);
             let (origin, seq) = (self.id, self.take_seq());
             ctx.schedule_at_keyed(
@@ -483,6 +616,119 @@ impl Lane {
                 },
             );
         }
+    }
+
+    /// The autoscale controller (lane 0): estimate cluster-wide
+    /// per-live-server utilization from the same estimator-plus-peers
+    /// stack the planner reads, step the fleet if it left the hysteresis
+    /// band, and broadcast the new topology to every lane with one
+    /// propagation delay so all rings mutate at the same simulated
+    /// instant. Pure function of lane state — deterministic at any
+    /// thread count.
+    fn scale_tick(&mut self, ctx: &mut ShardCtx<'_, SEv>) {
+        let t = ctx.now().as_secs();
+        let a = self.st.cfg.autoscale.expect("scale tick without autoscale");
+        let live_mean = match self.moment_est.as_ref() {
+            Some(me) if me.len() >= self.min_samples => me.mean(),
+            _ => self.st.mean_service,
+        };
+        // Cluster arrival rate: own estimate plus last-heard peer
+        // summaries. The per-server bank reports every request to all
+        // `k_stored` candidates, so its index sum overcounts by exactly
+        // that factor.
+        let rate = match (&self.estimator, &self.bank) {
+            (Some(est), _) => est
+                .is_warm()
+                .then(|| self.peers.total_rate(0, est.rate())),
+            (_, Some(bank)) => {
+                let warm = (0..bank.len()).any(|s| bank.get(s).is_warm());
+                warm.then(|| {
+                    (0..bank.len())
+                        .map(|s| self.peers.total_rate(s, bank.rate(s)))
+                        .sum::<f64>()
+                        / self.st.cfg.stored_replicas as f64
+                })
+            }
+            _ => None,
+        };
+        if let Some(rate) = rate {
+            // Evaluated against the latest *announced* size: a decision
+            // in flight (applied one lookahead later) must not be
+            // re-taken against the stale fleet on the next tick.
+            let rho = rate * live_mean / self.target_live as f64;
+            let mut target = self.target_live;
+            if rho > a.scale_out {
+                target = (target + a.step).min(a.max_servers);
+            } else if rho < a.scale_in {
+                target = target.saturating_sub(a.step).max(self.st.cfg.servers);
+            }
+            if target != self.target_live {
+                self.target_live = target;
+                self.topo_announced += 1;
+                self.scale_log.push(ScaleEvent {
+                    at: t,
+                    servers: target,
+                    rho,
+                });
+                let delay = SimTime::from_secs(self.st.cfg.propagation);
+                let here = ctx.shard();
+                for lane in 0..self.st.lanes {
+                    let ev = SEv::Topology {
+                        to: lane as u16,
+                        generation: self.topo_announced,
+                        servers: target as u16,
+                    };
+                    let dest = self.st.lane_shard[lane] as usize;
+                    let (origin, seq) = (self.id, self.take_seq());
+                    if dest == here {
+                        ctx.schedule_at_keyed(ctx.now() + delay, origin, seq, ev);
+                    } else {
+                        ctx.send_keyed(dest, delay, origin, seq, ev);
+                    }
+                }
+            }
+        }
+        if self.finished < self.owned {
+            let (origin, seq) = (self.id, self.take_seq());
+            ctx.schedule_at_keyed(
+                ctx.now() + SimTime::from_secs(self.st.scale_period),
+                origin,
+                seq,
+                SEv::ScaleTick,
+            );
+        }
+    }
+
+    /// Applies a topology broadcast: mutate this lane's ring to the new
+    /// size (LIFO add/remove — identical ops on every lane, so the
+    /// clones stay equal), open the dual-dispatch window, and churn the
+    /// per-server estimator state (grow on scale-out, per-index reset of
+    /// departed servers on scale-in; survivors untouched).
+    fn apply_topology(&mut self, t: f64, generation: u32, servers: usize) {
+        debug_assert_eq!(generation, self.topo_gen + 1, "topology gap");
+        self.topo_gen = generation;
+        let ring = self.ring.as_mut().expect("topology without autoscale");
+        self.ring_prev = Some(ring.clone());
+        while ring.servers() < servers {
+            ring.add_server();
+        }
+        while ring.servers() > servers {
+            ring.remove_server();
+        }
+        if let Some(bank) = self.bank.as_mut() {
+            bank.grow_to(servers);
+            // Departed indices go cold; a re-added server must warm up
+            // fresh, not inherit its pre-departure window.
+            for idx in servers..self.live {
+                bank.reset(idx);
+            }
+            self.peers.grow_to(servers);
+        }
+        self.cap_integral += self.live as f64 * (t - self.cap_last);
+        self.cap_last = t;
+        self.live = servers;
+        self.peak_live = self.peak_live.max(servers);
+        self.migration_until = t + self.st.cfg.autoscale.expect("elastic").migration;
     }
 }
 
@@ -714,6 +960,14 @@ impl ShardLogic for Node {
             (Node::Front(f), SEv::Summary { from, to, rates }) => {
                 f.lane_by_id(to as usize).peers.apply(from as usize, rates)
             }
+            (Node::Front(f), SEv::ScaleTick) => f.lane_by_id(0).scale_tick(ctx),
+            (Node::Front(f), SEv::Topology {
+                to,
+                generation,
+                servers,
+            }) => f
+                .lane_by_id(to as usize)
+                .apply_topology(t, generation, servers as usize),
             (Node::Group(g), SEv::CopyArrive {
                 req,
                 server,
@@ -745,6 +999,13 @@ pub struct ShardedOutcome {
     pub frontends: usize,
     /// Cross-lane load summaries exchanged (0 when `frontend_lanes == 1`).
     pub summaries: u64,
+    /// The autoscaler's fleet-size trajectory (empty without autoscale):
+    /// every decision that changed the live server count, in order.
+    pub scale_log: Vec<ScaleEvent>,
+    /// Largest live fleet the run reached (`cfg.servers` when static).
+    pub peak_live: usize,
+    /// Live servers when the run ended (`cfg.servers` when static).
+    pub final_live: usize,
 }
 
 /// Process-wide default frontend placement consulted by [`run_sharded`]:
@@ -810,8 +1071,11 @@ pub fn run_sharded_placed(
         cfg.propagation > 0.0,
         "sharded engine needs positive propagation (the lookahead window)"
     );
+    // Elastic runs allocate server slots for the *ceiling* up front;
+    // servers beyond the live count simply never receive copies.
+    let capacity = cfg.autoscale.map_or(cfg.servers, |a| a.max_servers);
     assert!(
-        groups >= 1 && groups <= cfg.servers,
+        groups >= 1 && groups <= capacity,
         "server groups must be in [1, servers]"
     );
     assert!(
@@ -845,9 +1109,10 @@ pub fn run_sharded_placed(
         .collect();
 
     // Group g owns the contiguous server block [bounds[g], bounds[g+1])
-    // on engine shard `frontends + g`.
-    let bounds: Vec<usize> = (0..=groups).map(|g| g * cfg.servers / groups).collect();
-    let mut group_shard_of = vec![0u16; cfg.servers];
+    // on engine shard `frontends + g` — sized over the full capacity so
+    // scale-outs land on pre-built (dormant) servers.
+    let bounds: Vec<usize> = (0..=groups).map(|g| g * capacity / groups).collect();
+    let mut group_shard_of = vec![0u16; capacity];
     for g in 0..groups {
         for s in group_shard_of
             .iter_mut()
@@ -870,6 +1135,10 @@ pub fn run_sharded_placed(
         stored_tab,
         hot_shard,
         summary_period: cfg.summary_period.max(cfg.propagation),
+        elastic: cfg.autoscale.is_some(),
+        scale_period: cfg
+            .autoscale
+            .map_or(0.0, |a| a.period.max(cfg.propagation)),
         cfg: cfg.clone(),
     });
 
@@ -966,6 +1235,17 @@ pub fn run_sharded_placed(
             completed: 0,
             finished: 0,
             summaries_sent: 0,
+            ring: cfg.autoscale.is_some().then(|| ring.clone()),
+            ring_prev: None,
+            migration_until: f64::NEG_INFINITY,
+            live: cfg.servers,
+            topo_gen: 0,
+            target_live: cfg.servers,
+            topo_announced: 0,
+            scale_log: Vec::new(),
+            cap_integral: 0.0,
+            cap_last: 0.0,
+            peak_live: cfg.servers,
         };
         if owned > 0 {
             let first_gap = lane
@@ -987,6 +1267,16 @@ pub fn run_sharded_placed(
                     l as u32,
                     seq,
                     SEv::SummaryTick { lane: l as u16 },
+                ));
+            }
+            if l == 0 && statics.elastic {
+                let seq = lane.take_seq();
+                seeds.push((
+                    statics.lane_shard[0] as usize,
+                    SimTime::from_secs(statics.scale_period),
+                    0,
+                    seq,
+                    SEv::ScaleTick,
                 ));
             }
         }
@@ -1082,6 +1372,24 @@ pub fn run_sharded_placed(
     lanes_out.sort_unstable_by_key(|l| l.id);
     let end_time = stats.end_time.as_secs();
 
+    // Elastic accounting lives on lane 0 (the controller): the fleet
+    // trajectory, and the provisioned server-time integral that replaces
+    // `servers × end_time` as the utilization denominator.
+    let (scale_log, peak_live, final_live, provisioned) = {
+        let l0 = &mut lanes_out[0];
+        let provisioned = if statics.elastic {
+            l0.cap_integral + l0.live as f64 * (end_time - l0.cap_last)
+        } else {
+            cfg.servers as f64 * end_time
+        };
+        (
+            std::mem::take(&mut l0.scale_log),
+            l0.peak_live,
+            l0.live,
+            provisioned,
+        )
+    };
+
     let mut response = SampleSet::with_capacity(cfg.requests);
     let mut completed = 0usize;
     let mut copies_issued = 0u64;
@@ -1169,7 +1477,7 @@ pub fn run_sharded_placed(
         buckets,
         copies_issued,
         copies_cancelled,
-        mean_utilization: busy / (cfg.servers as f64 * end_time.max(f64::MIN_POSITIVE)),
+        mean_utilization: busy / provisioned.max(f64::MIN_POSITIVE),
         completed,
     };
     ShardedOutcome {
@@ -1178,6 +1486,9 @@ pub fn run_sharded_placed(
         groups,
         frontends,
         summaries,
+        scale_log,
+        peak_live,
+        final_live,
     }
 }
 
@@ -1217,6 +1528,13 @@ mod tests {
             v.push(b.k2_requests as u64);
             v.push(b.mean_response.to_bits());
             v.push(b.p99.to_bits());
+        }
+        v.push(out.peak_live as u64);
+        v.push(out.final_live as u64);
+        for e in &out.scale_log {
+            v.push(e.at.to_bits());
+            v.push(e.servers as u64);
+            v.push(e.rho.to_bits());
         }
         v
     }
@@ -1379,5 +1697,124 @@ mod tests {
         cfg.frontend_lanes = 4;
         cfg.popularity = Some(service::zipf_popularity(cfg.shards, 0.9));
         let _ = run_sharded(&cfg, 2, 1);
+    }
+
+    /// A diurnal ramp on an 8-server baseline that must stretch to 16
+    /// and come back: peak cluster load 0.9 relative to the baseline is
+    /// 0.45 per server at the full fleet (inside the 0.30–0.50
+    /// hysteresis band) but 0.60 at 12 servers (above it), so the
+    /// controller cannot stop short of the ceiling.
+    fn elastic_ramp() -> ServiceConfig {
+        let service: DynDist = Arc::new(Exponential::with_mean(1.0e-3));
+        let mut cfg = ServiceConfig::ramp(service, 0.05, 0.6);
+        cfg.servers = 8;
+        cfg.shards = 2048;
+        cfg.requests = 30_000;
+        cfg.warmup = 3_000;
+        cfg.autoscale = Some(service::Autoscale {
+            max_servers: 16,
+            step: 4,
+            scale_out: 0.50,
+            scale_in: 0.30,
+            period: 0.05,
+            migration: 0.01,
+            peak_load: 0.9,
+        });
+        cfg
+    }
+
+    #[test]
+    fn autoscaler_tracks_the_diurnal_curve() {
+        let cfg = elastic_ramp();
+        let out = run_sharded(&cfg, 4, 1);
+        assert_eq!(out.result.completed, cfg.requests);
+        assert_eq!(out.peak_live, 16, "fleet never reached the ceiling");
+        assert_eq!(out.final_live, 8, "fleet did not return to the floor");
+        assert!(
+            out.scale_log.len() >= 4,
+            "64→256→64-style trajectory needs at least 4 steps, got {:?}",
+            out.scale_log
+        );
+        // The trajectory is up-then-down: monotone to the peak, monotone
+        // back (hysteresis leaves no room for mid-course flapping on a
+        // single-peak curve).
+        let peak_at = out
+            .scale_log
+            .iter()
+            .position(|e| e.servers == 16)
+            .expect("ceiling decision logged");
+        for w in out.scale_log[..=peak_at].windows(2) {
+            assert!(w[0].servers < w[1].servers, "flap on the way up: {:?}", out.scale_log);
+        }
+        for w in out.scale_log[peak_at..].windows(2) {
+            assert!(w[0].servers > w[1].servers, "flap on the way down: {:?}", out.scale_log);
+        }
+        // The switch-off (per-live-server axis) still tracks the offline
+        // threshold through all the resizing.
+        assert!(
+            (out.result.switch_off - out.result.planner_threshold).abs() < 0.1,
+            "switch-off {} vs threshold {}",
+            out.result.switch_off,
+            out.result.planner_threshold
+        );
+    }
+
+    #[test]
+    fn elastic_run_is_bit_identical_at_any_placement_and_thread_count() {
+        // The workspace invariant extends through topology churn: the
+        // controller, the topology broadcasts, the ring mutations, and
+        // the dual-dispatch window are all keyed events, so the full
+        // elastic trajectory is reproduced bit-for-bit at every
+        // (frontend shards, workers) combination.
+        let mut cfg = elastic_ramp();
+        cfg.frontend_lanes = 4;
+        cfg.requests = 20_000;
+        cfg.warmup = 2_000;
+        let reference = fingerprint(&run_sharded_placed(&cfg, 3, 1, 1));
+        assert!(reference.len() > 40, "scale log missing from fingerprint");
+        for (frontends, threads) in [(1usize, 3usize), (2, 8), (4, 1), (4, 8)] {
+            assert_eq!(
+                reference,
+                fingerprint(&run_sharded_placed(&cfg, 3, threads, frontends)),
+                "frontends={frontends} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_per_server_bank_survives_churn() {
+        // PerServer load model under topology churn: the bank grows on
+        // scale-out, departed indices reset on scale-in, and the peer
+        // boards tolerate stale-width summaries — the run completes with
+        // the fleet trajectory intact.
+        let mut cfg = elastic_ramp();
+        cfg.frontend = Frontend::Adaptive {
+            window: 2048,
+            moments: MomentSource::Clairvoyant,
+            load_model: LoadModel::PerServer,
+        };
+        cfg.frontend_lanes = 2;
+        let out = run_sharded(&cfg, 4, 2);
+        assert_eq!(out.result.completed, cfg.requests);
+        assert_eq!(out.peak_live, 16);
+        assert_eq!(out.final_live, 8);
+        assert!(out.summaries > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not autoscale")]
+    fn sequential_runner_rejects_autoscale() {
+        let _ = service::run(&elastic_ramp());
+    }
+
+    #[test]
+    #[should_panic(expected = "saturates even the full fleet")]
+    fn rejects_unservable_diurnal_peak() {
+        let mut cfg = elastic_ramp();
+        cfg.autoscale = Some(service::Autoscale {
+            peak_load: 1.5,
+            ..cfg.autoscale.unwrap()
+        });
+        let _ = run_sharded(&cfg, 4, 1);
     }
 }

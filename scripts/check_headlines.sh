@@ -202,8 +202,8 @@ if [ -f "$dir/fig-service-skew-aware.txt" ]; then
   gp=$(grep -o 'global hot-server peak utilization: [0-9.]*' "$f" | grep -o '[0-9.]*$')
   pp=$(grep -o 'per-server hot-server peak utilization: [0-9.]*' "$f" | grep -o '[0-9.]*$')
   ratio=$(grep -o 'p99 hump ratio: [0-9.]*' "$f" | grep -o '[0-9.]*$')
-  hot=$(grep -o 'hot-pair k2 fraction at ramp end: [0-9.]*' "$f" | grep -o '[0-9.]*$')
-  cold=$(grep -o 'cold-pair k2 fraction at ramp end: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  hot=$(grep -o 'hot-pair switch-off load: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  cold=$(grep -o 'cold-pair switch-off load: [0-9.NaN]*' "$f" | grep -o '[0-9.NaN]*$')
   if [ -n "$gp" ] && [ -n "$pp" ] && awk "BEGIN { exit !($pp < $gp - 0.05) }"; then
     echo "ok   fig-service-skew-aware: per-server peak util $pp below global $gp - 0.05"
   else
@@ -216,10 +216,13 @@ if [ -f "$dir/fig-service-skew-aware.txt" ]; then
     echo "FAIL fig-service-skew-aware: p99 hump ratio '$ratio' not < 0.9"
     fails=$((fails + 1))
   fi
-  if [ -n "$hot" ] && [ -n "$cold" ] && awk "BEGIN { exit !($cold > $hot + 0.5) }"; then
-    echo "ok   fig-service-skew-aware: ramp-end cold k2 $cold exceeds hot $hot + 0.5"
+  # NaN cold switch-off = cold pairs never cross inside the ramp: the
+  # maximal stagger, which passes by definition.
+  if [ "$cold" = "NaN" ] || { [ -n "$hot" ] && [ -n "$cold" ] && \
+       awk "BEGIN { exit !($cold > $hot + 0.10) }"; }; then
+    echo "ok   fig-service-skew-aware: cold switch-off $cold staggered above hot $hot + 0.10"
   else
-    echo "FAIL fig-service-skew-aware: ramp-end cold k2 '$cold' vs hot '$hot' out of band"
+    echo "FAIL fig-service-skew-aware: cold switch-off '$cold' vs hot '$hot' out of band"
     fails=$((fails + 1))
   fi
 else
@@ -250,6 +253,53 @@ if [ -f "$dir/fig-service-ps-est.txt" ]; then
   fi
 else
   echo "FAIL fig-service-ps-est: missing $dir/fig-service-ps-est.txt"
+  fails=$((fails + 1))
+fi
+
+# fig-service-elastic: under a diurnal load over a cluster resizing
+# 64 -> 256 -> 64, the planner's switch-off measured against the *live*
+# server count must land within +-0.06 of the offline threshold, the
+# autoscaler must reach its ceiling and return to its floor, and the ring
+# migration must not lose a single request.
+if [ -f "$dir/fig-service-elastic.txt" ]; then
+  f="$dir/fig-service-elastic.txt"
+  so=$(grep -o 'planner switch-off load (per live server): [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  th=$(grep -o 'offline threshold: [0-9.]*' "$f" | grep -o '[0-9.]*$')
+  peak=$(grep -o 'peak live servers: [0-9]*' "$f" | grep -o '[0-9]*$')
+  ceil=$(grep -o 'ceiling [0-9]*' "$f" | grep -o '[0-9]*$')
+  fin=$(grep -o 'final live servers: [0-9]*' "$f" | grep -o '[0-9]*$')
+  floor=$(grep -o 'floor [0-9]*' "$f" | grep -o '[0-9]*$')
+  ev=$(grep -o 'scale events: [0-9]*' "$f" | grep -o '[0-9]*$')
+  done_n=$(grep -o 'completed: [0-9]*' "$f" | grep -o '[0-9]*$')
+  total_n=$(grep -o 'completed: [0-9]* of [0-9]*' "$f" | grep -o '[0-9]*$')
+  if [ -n "$so" ] && [ -n "$th" ] && \
+     awk "BEGIN { d = $so - $th; if (d < 0) d = -d; exit !(d <= 0.06) }"; then
+    echo "ok   fig-service-elastic: switch-off $so within 0.06 of threshold $th"
+  else
+    echo "FAIL fig-service-elastic: switch-off '$so' vs threshold '$th' out of band"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$peak" ] && [ -n "$ceil" ] && [ -n "$fin" ] && [ -n "$floor" ] && \
+     [ "$peak" -eq "$ceil" ] && [ "$fin" -eq "$floor" ]; then
+    echo "ok   fig-service-elastic: scaled to ceiling $ceil and back to floor $floor"
+  else
+    echo "FAIL fig-service-elastic: peak '$peak' (ceiling '$ceil') / final '$fin' (floor '$floor')"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$ev" ] && [ "$ev" -ge 4 ]; then
+    echo "ok   fig-service-elastic: $ev scale events (>= 4)"
+  else
+    echo "FAIL fig-service-elastic: scale events '$ev' below 4"
+    fails=$((fails + 1))
+  fi
+  if [ -n "$done_n" ] && [ -n "$total_n" ] && [ "$done_n" -eq "$total_n" ]; then
+    echo "ok   fig-service-elastic: $done_n of $total_n requests completed across migrations"
+  else
+    echo "FAIL fig-service-elastic: completed '$done_n' of '$total_n'"
+    fails=$((fails + 1))
+  fi
+else
+  echo "FAIL fig-service-elastic: missing $dir/fig-service-elastic.txt"
   fails=$((fails + 1))
 fi
 

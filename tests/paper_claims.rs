@@ -206,8 +206,8 @@ fn heavy_tail_switch_off_sits_below_exponential() {
 /// (`EstimatorBank` + `decide_for`) must cut the hot server's peak busy
 /// fraction strictly below the global planner's, flatten the mid-ramp
 /// p99 contention hump, and stagger the decision by temperature — hot
-/// pairs off well below the balanced-load threshold, cold pairs still
-/// replicating at ramp end.
+/// pairs off well below the balanced-load threshold, cold pairs
+/// switching off markedly later (or never, inside the ramp).
 #[test]
 fn per_server_planner_cuts_the_hot_server_peak() {
     let out = run_experiment("fig-service-skew-aware", Effort::Quick);
@@ -226,11 +226,11 @@ fn per_server_planner_cuts_the_hot_server_peak() {
         "hot pairs must switch off well below the balanced threshold: \
          {hot_off} vs {threshold}"
     );
-    let hot_end = grab_headline(&out, "# hot-pair k2 fraction at ramp end:");
-    let cold_end = grab_headline(&out, "# cold-pair k2 fraction at ramp end:");
+    let cold_off = grab_headline(&out, "# per-server cold-pair switch-off load:");
     assert!(
-        cold_end > hot_end + 0.5,
-        "cold pairs must outlive hot pairs: cold {cold_end} vs hot {hot_end}"
+        cold_off.is_nan() || cold_off > hot_off + 0.10,
+        "cold pairs must switch off markedly later than hot pairs: \
+         cold {cold_off} vs hot {hot_off}"
     );
 }
 
